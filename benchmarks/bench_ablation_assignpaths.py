@@ -1,0 +1,58 @@
+"""ABL-AP — how much of SR's feasibility comes from AssignPaths?
+
+Compiles the DVB sweep on each paper topology twice: with messages pinned
+to their LSD->MSD wormhole routes, and with the AssignPaths heuristic.
+The count of schedulable load points quantifies the value of exploiting
+the multiple equivalent paths (the heuristic should never schedule fewer
+points).
+"""
+
+from benchmarks.conftest import COMPILER, LOADS
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments import standard_setup
+from repro.report import format_table
+from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
+
+TOPOLOGIES = [
+    ("binary 6-cube", binary_hypercube(6), 128.0),
+    ("GHC(4,4,4)", GeneralizedHypercube((4, 4, 4)), 64.0),
+    ("4x4x4 torus", Torus((4, 4, 4)), 128.0),
+]
+
+
+def count_feasible(setup, config):
+    feasible = 0
+    for load in LOADS:
+        try:
+            compile_schedule(
+                setup.timing, setup.topology, setup.allocation,
+                setup.tau_in_for_load(load), config,
+            )
+            feasible += 1
+        except SchedulingError:
+            pass
+    return feasible
+
+
+def test_assignpaths_vs_lsd_feasibility(benchmark, dvb):
+    def sweep():
+        rows = []
+        for name, topology, bandwidth in TOPOLOGIES:
+            setup = standard_setup(dvb, topology, bandwidth)
+            lsd = count_feasible(
+                setup, CompilerConfig(use_assign_paths=False)
+            )
+            heuristic = count_feasible(setup, COMPILER)
+            rows.append((f"{name} B={int(bandwidth)}", lsd, heuristic,
+                         len(LOADS)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("configuration", "LSD->MSD feasible", "AssignPaths feasible", "points"),
+        rows, title="ABL-AP: schedulable load points by path assignment",
+    ))
+    for _, lsd, heuristic, _ in rows:
+        assert heuristic >= lsd

@@ -1,0 +1,65 @@
+"""ABL-SAF — three generations of routing on one workload.
+
+Store-and-forward (first-generation machines), wormhole (the paper's
+second-generation baseline), and scheduled routing, side by side on the
+DVB/6-cube/B=128 sweep.  The point: OI is not a wormhole artifact — any
+FCFS arbitration oblivious to invocation structure exhibits it — and SR
+is the only one of the three with constant output intervals.
+"""
+
+from benchmarks.conftest import COMPILER, INVOCATIONS, LOADS, WARMUP
+from repro.core.compiler import compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments import standard_setup
+from repro.report import format_spike, format_table
+from repro.topology import binary_hypercube
+from repro.wormhole import StoreAndForwardSimulator, WormholeSimulator
+
+
+def test_three_routing_generations(benchmark, dvb):
+    setup = standard_setup(dvb, binary_hypercube(6), 128.0)
+
+    def sweep():
+        rows = []
+        for load in LOADS:
+            tau_in = setup.tau_in_for_load(load)
+            saf = StoreAndForwardSimulator(
+                setup.timing, setup.topology, setup.allocation
+            ).run(tau_in, invocations=INVOCATIONS, warmup=WARMUP)
+            wormhole = WormholeSimulator(
+                setup.timing, setup.topology, setup.allocation
+            ).run(tau_in, invocations=INVOCATIONS, warmup=WARMUP)
+            try:
+                compile_schedule(
+                    setup.timing, setup.topology, setup.allocation,
+                    tau_in, COMPILER,
+                )
+                sr = "constant 1.000"
+            except SchedulingError as error:
+                sr = f"infeasible ({error.stage})"
+            rows.append((load, saf, wormhole, sr))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        (
+            f"{load:.4f}",
+            format_spike(saf.throughput_stats()),
+            "yes" if saf.has_oi() else "no",
+            format_spike(wormhole.throughput_stats()),
+            "yes" if wormhole.has_oi() else "no",
+            sr,
+        )
+        for load, saf, wormhole, sr in rows
+    ]
+    print()
+    print(format_table(
+        ("load", "store&forward thr", "OI", "wormhole thr", "OI",
+         "scheduled routing"),
+        table,
+        title="ABL-SAF: routing generations, DVB/6-cube/B=128",
+    ))
+    saf_oi = sum(1 for _, saf, _, _ in rows if saf.has_oi())
+    print(f"\nstore-and-forward OI instances: {saf_oi}/{len(rows)}")
+    # OI is not a wormhole artifact.
+    assert saf_oi >= 1

@@ -1,0 +1,57 @@
+"""ABL-SYNC — CP clock-synchronization margins (concluding remarks).
+
+The paper proposes guarding each transmission with an interval "equal to
+or greater than twice the maximum difference between two clocks" and asks
+how the scheduling formulations degrade.  This ablation sweeps the margin
+and reports the highest schedulable load on the 6-cube at B = 128.
+"""
+
+from benchmarks.conftest import COMPILER, LOADS
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments import standard_setup
+from repro.report import format_table
+from repro.topology import binary_hypercube
+
+MARGINS = [0.0, 1.0, 2.5, 5.0, 10.0, 20.0]
+
+
+def test_sync_margin_shrinks_schedulability(benchmark, dvb):
+    setup = standard_setup(dvb, binary_hypercube(6), 128.0)
+
+    def sweep():
+        rows = []
+        for margin in MARGINS:
+            config = CompilerConfig(
+                seed=COMPILER.seed, max_paths=COMPILER.max_paths,
+                max_restarts=COMPILER.max_restarts, retries=COMPILER.retries,
+                sync_margin=margin,
+            )
+            best = None
+            feasible = 0
+            for load in LOADS:
+                try:
+                    compile_schedule(
+                        setup.timing, setup.topology, setup.allocation,
+                        setup.tau_in_for_load(load), config,
+                    )
+                    feasible += 1
+                    best = load
+                except SchedulingError:
+                    pass
+            rows.append((
+                f"{margin:.1f}", feasible,
+                "-" if best is None else f"{best:.4f}",
+            ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("sync margin (us)", "feasible points", "highest feasible load"),
+        rows,
+        title="ABL-SYNC: DVB on 6-cube, B=128, guard margin sweep",
+    ))
+    counts = [row[1] for row in rows]
+    assert counts[0] >= counts[-1]  # margins never help
+    assert counts == sorted(counts, reverse=True)

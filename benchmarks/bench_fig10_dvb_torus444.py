@@ -1,0 +1,19 @@
+"""FIG10 — paper Fig. 10: DVB on the 4x4x4 torus (B = 128 bytes/us).
+
+Expected shape (paper): "SR removes all instances of OI ... and enables
+operation at the highest load while WR does not" — the full sweep
+compiles, including load 1.0, with constant normalized throughput 1.0.
+"""
+
+from benchmarks.conftest import run_pipeline_bench
+from repro.topology import Torus
+
+
+def test_fig10_b128(benchmark, dvb):
+    points = run_pipeline_bench(
+        benchmark, dvb, Torus((4, 4, 4)), 128.0,
+        "FIG10: DVB on 4x4x4 torus, B=128 bytes/us",
+    )
+    assert all(p.sr_feasible for p in points)
+    top = points[-1]
+    assert top.load == 1.0 and top.sr_feasible

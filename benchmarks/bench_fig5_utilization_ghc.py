@@ -1,0 +1,32 @@
+"""FIG5 — paper Fig. 5: peak utilisation on generalized hypercubes.
+
+Reproduces the two panels of Fig. 5: for the DVB TFG at B = 64 bytes/us,
+peak utilisation ``U`` achieved by LSD->MSD routing vs the AssignPaths
+heuristic across the twelve-point normalized-load sweep, on the binary
+6-cube and on GHC(4,4,4).
+
+Expected shape (paper): AssignPaths is at least as low as LSD->MSD at
+every load, both curves rise with load, and the richer GHC(4,4,4) sits
+lower than the 6-cube.
+"""
+
+from benchmarks.conftest import run_utilization_bench
+from repro.topology import GeneralizedHypercube, binary_hypercube
+
+
+def test_fig5_binary_6cube(benchmark, dvb):
+    run_utilization_bench(
+        benchmark, dvb, binary_hypercube(6), 64.0,
+        "FIG5a: U on binary 6-cube, DVB, B=64 bytes/us",
+    )
+
+
+def test_fig5_ghc444(benchmark, dvb):
+    points = run_utilization_bench(
+        benchmark, dvb, GeneralizedHypercube((4, 4, 4)), 64.0,
+        "FIG5b: U on GHC(4,4,4), DVB, B=64 bytes/us",
+    )
+    # The link-rich GHC(4,4,4) reaches U <= 1 at most loads (paper: all
+    # but two load points).
+    feasible = sum(1 for p in points if p.u_heuristic <= 1.0 + 1e-9)
+    assert feasible >= len(points) // 2

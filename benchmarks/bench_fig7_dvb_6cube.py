@@ -1,0 +1,35 @@
+"""FIG7 — paper Fig. 7: DVB on the binary 6-cube.
+
+Normalized throughput and latency versus load for wormhole routing
+(min/avg/max spikes; spikes = output inconsistency) and scheduled routing
+(constant when feasible), at B = 64 and B = 128 bytes/us.
+
+Expected shape (paper): at B = 64 utilisation exceeds 1 above a low-load
+cutoff, so SR is feasible only at the lightest loads while WR shows OI
+spikes; at B = 128 SR is feasible at every load point with normalized
+throughput exactly 1.0, where WR still spikes at several loads.
+"""
+
+from benchmarks.conftest import run_pipeline_bench
+from repro.topology import binary_hypercube
+
+
+def test_fig7_b64(benchmark, dvb):
+    points = run_pipeline_bench(
+        benchmark, dvb, binary_hypercube(6), 64.0,
+        "FIG7a: DVB on binary 6-cube, B=64 bytes/us",
+    )
+    # Paper annotation: "U > 1.0 when load > 0.3636".
+    high_load_infeasible = [p for p in points if p.load > 0.45]
+    assert all(not p.sr_feasible for p in high_load_infeasible)
+
+
+def test_fig7_b128(benchmark, dvb):
+    points = run_pipeline_bench(
+        benchmark, dvb, binary_hypercube(6), 128.0,
+        "FIG7b: DVB on binary 6-cube, B=128 bytes/us",
+    )
+    # Paper: at the higher bandwidth every load point is schedulable.
+    assert all(p.sr_feasible for p in points)
+    # And WR still exhibits OI somewhere in the sweep.
+    assert any(p.wr_oi for p in points)

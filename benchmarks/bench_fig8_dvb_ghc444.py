@@ -1,0 +1,28 @@
+"""FIG8 — paper Fig. 8: DVB on the GHC(4,4,4).
+
+Expected shape (paper): with three times the 6-cube's links per
+dimension, the GHC(4,4,4) reaches U <= 1 for more load points at B = 64
+(all except isolated loads — the paper names 0.5 and 1.0); at B = 128 SR
+is feasible throughout and removes the OI that WR shows.
+"""
+
+from benchmarks.conftest import run_pipeline_bench
+from repro.topology import GeneralizedHypercube
+
+
+def test_fig8_b64(benchmark, dvb):
+    points = run_pipeline_bench(
+        benchmark, dvb, GeneralizedHypercube((4, 4, 4)), 64.0,
+        "FIG8a: DVB on GHC(4,4,4), B=64 bytes/us",
+    )
+    feasible = sum(1 for p in points if p.sr_feasible)
+    # Feasible at most load points (paper: 10 of 12).
+    assert feasible >= len(points) - 4
+
+
+def test_fig8_b128(benchmark, dvb):
+    points = run_pipeline_bench(
+        benchmark, dvb, GeneralizedHypercube((4, 4, 4)), 128.0,
+        "FIG8b: DVB on GHC(4,4,4), B=128 bytes/us",
+    )
+    assert all(p.sr_feasible for p in points)

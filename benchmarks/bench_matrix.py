@@ -1,0 +1,42 @@
+"""TAB-MATRIX — the condensed evaluation: all machines, all loads.
+
+Not a figure of the paper, but its Figs. 7-10 summarized the way a
+modern evaluation section would: one table of compiler verdicts over the
+full (topology x bandwidth x load) grid.  The qualitative orderings the
+paper states in prose are asserted:
+
+- GHC(4,4,4) >= 6-cube >= tori in schedulable points at B = 64,
+- every machine weakly improves when bandwidth doubles.
+"""
+
+from benchmarks.conftest import COMPILER, LOADS
+from repro.experiments.matrix import feasibility_matrix, format_matrix
+from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
+
+
+def test_feasibility_matrix(benchmark, dvb):
+    topologies = [
+        binary_hypercube(6),
+        GeneralizedHypercube((4, 4, 4)),
+        Torus((8, 8)),
+        Torus((4, 4, 4)),
+    ]
+
+    def sweep():
+        return feasibility_matrix(
+            dvb, topologies, [64.0, 128.0], LOADS, config=COMPILER
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_matrix(rows))
+
+    counts = {
+        (row.topology, row.bandwidth): row.feasible_count for row in rows
+    }
+    # The paper's prose orderings.
+    assert counts[("GHC(4,4,4)", 64.0)] >= counts[("GHC(2,2,2,2,2,2)", 64.0)]
+    assert counts[("GHC(2,2,2,2,2,2)", 64.0)] >= counts[("Torus(8x8)", 64.0)]
+    for topology in ("GHC(2,2,2,2,2,2)", "GHC(4,4,4)", "Torus(8x8)",
+                     "Torus(4x4x4)"):
+        assert counts[(topology, 128.0)] >= counts[(topology, 64.0)]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Radar pipeline: compile-time feasibility analysis on a second workload.
+
+A classic radar processing chain (ADC -> per-channel beamform / pulse
+compression / doppler -> CFAR fusion -> tracking) put through the full
+toolchain, demonstrating the layered compile-time verdicts:
+
+1. **feasibility bounds** — assignment-invariant necessary conditions
+   (window structure, node throughput, bisection).  A placement that
+   fails these can never be scheduled, at any rate, before any LP runs;
+2. **the compiler** — the sufficient check: bounds may pass while the
+   LPs still prove the rate unreachable (necessary is not sufficient);
+3. the compiled schedule, visualized as link-occupancy bars.
+
+Run:  python examples/radar_pipeline.py
+"""
+
+from repro import (
+    CompilerConfig,
+    SchedulingError,
+    binary_hypercube,
+    compile_schedule,
+    feasibility_bounds,
+    link_occupancy_chart,
+    standard_setup,
+)
+from repro.report import format_table
+from repro.tfg.radar import radar_tfg
+
+LOADS = (0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def main() -> None:
+    tfg = radar_tfg(4)
+    topology = binary_hypercube(5)  # 32 nodes for 15 tasks
+    print(f"workload: {tfg!r} on {topology!r}\n")
+
+    rows = []
+    compiled = None
+    for bandwidth in (64.0, 128.0):
+        setup = standard_setup(tfg, topology, bandwidth=bandwidth)
+        bounds = feasibility_bounds(
+            setup.timing, topology, setup.allocation
+        )
+        verdicts = []
+        for load in LOADS:
+            tau_in = setup.tau_in_for_load(load)
+            if not bounds.admits(tau_in):
+                verdicts.append(f"{load:.1f}:bound")
+                continue
+            try:
+                routing = compile_schedule(
+                    setup.timing, topology, setup.allocation, tau_in,
+                    CompilerConfig(seed=0),
+                )
+                verdicts.append(f"{load:.1f}:OK")
+                compiled = routing
+            except SchedulingError as error:
+                verdicts.append(f"{load:.1f}:{error.stage}")
+        rows.append((
+            f"{int(bandwidth)}",
+            "ok" if bounds.structurally_feasible else "never schedulable",
+            f"{bounds.min_period:.1f}",
+            "  ".join(verdicts),
+        ))
+
+    print(format_table(
+        ("B (bytes/us)", "window check", "min period bound (us)",
+         "per-load verdict"),
+        rows,
+        title="Radar chain: bounds (necessary) vs compiler (sufficient)",
+    ))
+    print(
+        "\n'bound' = rejected by the assignment-invariant bounds alone; "
+        "a stage name = the LP pipeline proved it; OK = schedule compiled "
+        "and machine-validated."
+    )
+
+    if compiled is not None:
+        print()
+        print(link_occupancy_chart(compiled.schedule, width=48, top=6))
+
+
+if __name__ == "__main__":
+    main()

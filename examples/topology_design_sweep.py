@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Design-space sweep: which interconnect sustains the workload?
+
+A system designer's question the paper answers at compile time: given the
+application (DVB) and a target input rate, does a candidate machine meet
+the communication requirements at all?  Scheduled routing decides this
+statically — no simulation, no deployment.
+
+The sweep compiles the workload on four 64-node interconnects at two link
+bandwidths across the full load range and prints, per configuration, the
+highest sustainable input rate and where the compiler gave up.
+
+Run:  python examples/topology_design_sweep.py
+"""
+
+from repro import (
+    CompilerConfig,
+    GeneralizedHypercube,
+    SchedulingError,
+    Torus,
+    binary_hypercube,
+    compile_schedule,
+    dvb_tfg,
+    load_sweep,
+    standard_setup,
+)
+from repro.report import format_table
+
+CANDIDATES = [
+    ("binary 6-cube", binary_hypercube(6)),
+    ("GHC(4,4,4)", GeneralizedHypercube((4, 4, 4))),
+    ("8x8 torus", Torus((8, 8))),
+    ("4x4x4 torus", Torus((4, 4, 4))),
+]
+
+
+def main() -> None:
+    tfg = dvb_tfg(5)
+    config = CompilerConfig(seed=0, max_paths=32, max_restarts=2, retries=1)
+    loads = load_sweep(12)
+
+    rows = []
+    for bandwidth in (64.0, 128.0):
+        for name, topology in CANDIDATES:
+            setup = standard_setup(tfg, topology, bandwidth)
+            best_load = None
+            feasible = 0
+            last_failure = "-"
+            for load in loads:
+                try:
+                    compile_schedule(
+                        setup.timing, setup.topology, setup.allocation,
+                        setup.tau_in_for_load(load), config,
+                    )
+                    feasible += 1
+                    best_load = load
+                except SchedulingError as error:
+                    last_failure = error.stage
+            rows.append((
+                name,
+                f"{int(bandwidth)}",
+                f"{topology.num_links}",
+                f"{feasible}/{len(loads)}",
+                "-" if best_load is None else f"{best_load:.2f}",
+                last_failure if feasible < len(loads) else "-",
+            ))
+
+    print(format_table(
+        ("interconnect", "B (bytes/us)", "links", "schedulable points",
+         "highest load", "limiting stage"),
+        rows,
+        title="Compile-time design-space verdicts for the DVB pipeline",
+    ))
+    print(
+        "\nReading: the GHC's extra links buy schedulability at B=64 that "
+        "the 6-cube lacks; the tori need B=128; 'utilization' means the "
+        "requirements exceed raw link capacity, while the LP stages mark "
+        "workloads that fit on average but cannot be packed."
+    )
+
+
+if __name__ == "__main__":
+    main()

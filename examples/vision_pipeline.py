@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Real-time vision pipeline: wormhole routing vs scheduled routing.
+
+The paper's motivating scenario: camera frames arrive periodically and a
+recognition result must come out at the same rate.  This example runs the
+DVB task-flow graph on a binary 6-cube at several input rates and shows
+what the application actually observes:
+
+- under wormhole routing, output inconsistency — recognition results
+  arriving at irregular intervals even though frames arrive like
+  clockwork;
+- under scheduled routing, a constant output interval equal to the frame
+  interval, at every rate the compiler accepts.
+
+Run:  python examples/vision_pipeline.py
+"""
+
+from repro import (
+    CompilerConfig,
+    ScheduledRoutingExecutor,
+    SchedulingError,
+    WormholeSimulator,
+    binary_hypercube,
+    compile_schedule,
+    dvb_tfg,
+    standard_setup,
+)
+from repro.report import format_spike, format_table
+
+
+def main() -> None:
+    setup = standard_setup(dvb_tfg(5), binary_hypercube(6), bandwidth=128.0)
+    print(
+        f"DVB recognition pipeline on {setup.topology.name}: "
+        f"{setup.tfg.num_tasks} tasks, {setup.tfg.num_messages} messages, "
+        f"frame processing time tau_c = {setup.tau_c:.0f} us"
+    )
+
+    rows = []
+    for load in (0.4, 0.52, 0.68, 0.84, 1.0):
+        tau_in = setup.tau_in_for_load(load)
+
+        wormhole = WormholeSimulator(
+            setup.timing, setup.topology, setup.allocation
+        ).run(tau_in, invocations=48, warmup=12)
+
+        try:
+            routing = compile_schedule(
+                setup.timing, setup.topology, setup.allocation, tau_in,
+                CompilerConfig(seed=0),
+            )
+            scheduled = ScheduledRoutingExecutor(
+                routing, setup.timing, setup.topology, setup.allocation
+            ).run(invocations=48, warmup=12)
+            sr_cell = format_spike(scheduled.throughput_stats())
+            sr_lat = format_spike(scheduled.latency_stats())
+        except SchedulingError as error:
+            sr_cell = f"infeasible ({error.stage})"
+            sr_lat = "-"
+
+        rows.append((
+            f"{load:.2f}",
+            f"{tau_in:.1f}",
+            format_spike(wormhole.throughput_stats()),
+            "IRREGULAR" if wormhole.has_oi() else "steady",
+            sr_cell,
+            sr_lat,
+        ))
+
+    print()
+    print(format_table(
+        ("load", "frame interval (us)", "WR throughput", "WR output",
+         "SR throughput", "SR latency"),
+        rows,
+        title="Recognition-rate behaviour, wormhole vs scheduled routing",
+    ))
+    print(
+        "\nA spike like 0.8/1.0/1.3 means successive recognition results "
+        "arrived up to 25% early and 20% late — output inconsistency.  "
+        "Scheduled routing pins the interval to the frame rate exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this repository is developed in has no network access and
+no ``wheel`` package, so PEP 660 editable installs cannot build; this shim
+enables ``pip install -e . --no-use-pep517 --no-build-isolation``.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,146 @@
+"""repro — scheduled routing for task-level pipelining.
+
+A from-scratch reproduction of Shukla & Agrawal, *Scheduling Pipelined
+Communication in Distributed Memory Multiprocessors for Real-time
+Applications* (ISCA 1991): wormhole routing's output inconsistency under
+task-level pipelining, and the scheduled-routing compiler that eliminates
+it with compile-time node switching schedules.
+
+Quickstart
+----------
+>>> from repro import (
+...     binary_hypercube, dvb_tfg, standard_setup, compile_schedule,
+... )
+>>> setup = standard_setup(dvb_tfg(8), binary_hypercube(6), bandwidth=128.0)
+>>> routing = compile_schedule(
+...     setup.timing, setup.topology, setup.allocation,
+...     tau_in=setup.tau_in_for_load(0.5),
+... )
+>>> routing.utilization.feasible
+True
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from repro.core import (
+    CommunicationSchedule,
+    CompilerConfig,
+    ScheduledRouting,
+    ScheduledRoutingExecutor,
+    assign_paths,
+    compile_schedule,
+    lsd_assignment,
+)
+from repro.core.timebounds import compute_time_bounds
+from repro.errors import (
+    IntervalAllocationError,
+    IntervalSchedulingError,
+    ReproError,
+    ScheduleValidationError,
+    SchedulingError,
+    SimulationError,
+    UtilizationExceededError,
+)
+from repro.experiments import (
+    ExperimentSetup,
+    pipeline_comparison,
+    standard_setup,
+    utilization_comparison,
+)
+from repro.core.bounds import FeasibilityBounds, feasibility_bounds
+from repro.core.io import load_schedule, save_schedule
+from repro.core.verify import VerificationReport, verify_schedule
+from repro.metrics.jitter import JitterReport, jitter_report
+from repro.mapping import (
+    annealed_allocation,
+    bfs_allocation,
+    random_allocation,
+    sequential_allocation,
+)
+from repro.metrics import SpikeStats, load_sweep
+from repro.tfg import (
+    Message,
+    Task,
+    TaskFlowGraph,
+    TFGTiming,
+    dvb_tfg,
+    random_layered_tfg,
+    speeds_for_ratio,
+)
+from repro.topology import (
+    GeneralizedHypercube,
+    Mesh,
+    Torus,
+    binary_hypercube,
+    enumerate_minimal_paths,
+    lsd_to_msd_route,
+)
+from repro.viz import link_occupancy_chart, node_gantt, sparkline
+from repro.wormhole import (
+    AdaptiveWormholeSimulator,
+    OiRisk,
+    PipelineRunResult,
+    WormholeSimulator,
+    predict_oi_risks,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveWormholeSimulator",
+    "CommunicationSchedule",
+    "CompilerConfig",
+    "ExperimentSetup",
+    "FeasibilityBounds",
+    "GeneralizedHypercube",
+    "IntervalAllocationError",
+    "IntervalSchedulingError",
+    "JitterReport",
+    "Mesh",
+    "OiRisk",
+    "Message",
+    "PipelineRunResult",
+    "ReproError",
+    "ScheduleValidationError",
+    "ScheduledRouting",
+    "ScheduledRoutingExecutor",
+    "SchedulingError",
+    "SimulationError",
+    "SpikeStats",
+    "TFGTiming",
+    "Task",
+    "TaskFlowGraph",
+    "Torus",
+    "VerificationReport",
+    "UtilizationExceededError",
+    "WormholeSimulator",
+    "annealed_allocation",
+    "assign_paths",
+    "bfs_allocation",
+    "binary_hypercube",
+    "compile_schedule",
+    "compute_time_bounds",
+    "dvb_tfg",
+    "enumerate_minimal_paths",
+    "feasibility_bounds",
+    "jitter_report",
+    "link_occupancy_chart",
+    "load_schedule",
+    "load_sweep",
+    "lsd_assignment",
+    "lsd_to_msd_route",
+    "node_gantt",
+    "pipeline_comparison",
+    "predict_oi_risks",
+    "random_allocation",
+    "random_layered_tfg",
+    "save_schedule",
+    "sequential_allocation",
+    "sparkline",
+    "speeds_for_ratio",
+    "standard_setup",
+    "utilization_comparison",
+    "verify_schedule",
+    "__version__",
+]

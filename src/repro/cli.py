@@ -1,0 +1,224 @@
+"""Command-line interface: ``repro-sr``.
+
+Runs a figure-style experiment from the shell::
+
+    repro-sr utilization --topology hypercube6 --bandwidth 64
+    repro-sr pipeline --topology torus4x4x4 --bandwidth 128 --loads 0.5 1.0
+    repro-sr compile --topology ghc444 --bandwidth 64 --load 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import SchedulingError
+from repro.experiments import (
+    pipeline_comparison,
+    standard_setup,
+    utilization_comparison,
+)
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.metrics import load_sweep
+from repro.report import format_spike, format_table
+from repro.tfg import dvb_tfg
+from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
+
+TOPOLOGIES = {
+    "hypercube6": lambda: binary_hypercube(6),
+    "ghc444": lambda: GeneralizedHypercube((4, 4, 4)),
+    "torus8x8": lambda: Torus((8, 8)),
+    "torus4x4x4": lambda: Torus((4, 4, 4)),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", choices=sorted(TOPOLOGIES), default="hypercube6"
+    )
+    parser.add_argument("--bandwidth", type=float, default=64.0)
+    parser.add_argument("--models", type=int, default=8, help="DVB object models")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _setup(args):
+    return standard_setup(
+        dvb_tfg(args.models), TOPOLOGIES[args.topology](), args.bandwidth
+    )
+
+
+def _cmd_utilization(args) -> int:
+    setup = _setup(args)
+    loads = args.loads or load_sweep()
+    points = utilization_comparison(setup, loads, seed=args.seed)
+    rows = [
+        (f"{p.load:.4f}", f"{p.u_lsd:.4f}", f"{p.u_heuristic:.4f}")
+        for p in points
+    ]
+    print(
+        format_table(
+            ("load", "U (LSD->MSD)", "U (AssignPaths)"),
+            rows,
+            title=f"{setup.topology.name} @ B={args.bandwidth} bytes/us",
+        )
+    )
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    setup = _setup(args)
+    loads = args.loads or load_sweep()
+    points = pipeline_comparison(setup, loads, compiler_config=CompilerConfig(seed=args.seed))
+    rows = []
+    for p in points:
+        rows.append(
+            (
+                f"{p.load:.4f}",
+                "deadlock" if p.wr_deadlock else format_spike(p.wr_throughput),
+                "-" if p.wr_deadlock else format_spike(p.wr_latency),
+                "-" if p.wr_oi is None else ("yes" if p.wr_oi else "no"),
+                p.sr_status,
+                "-" if p.sr_throughput is None else f"{p.sr_throughput:.3f}",
+                "-" if p.sr_latency is None else f"{p.sr_latency:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ("load", "WR thr", "WR lat", "WR OI", "SR status", "SR thr", "SR lat"),
+            rows,
+            title=f"DVB on {setup.topology.name} @ B={args.bandwidth} bytes/us",
+        )
+    )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    setup = _setup(args)
+    tau_in = setup.tau_in_for_load(args.load)
+    try:
+        routing = compile_schedule(
+            setup.timing,
+            setup.topology,
+            setup.allocation,
+            tau_in,
+            CompilerConfig(seed=args.seed),
+        )
+    except SchedulingError as error:
+        print(f"infeasible at load {args.load}: {error}")
+        return 1
+    print(
+        f"feasible: U={routing.utilization.peak:.4f}, "
+        f"{len(routing.subsets)} maximal subsets, "
+        f"{routing.schedule.num_commands} switching commands over "
+        f"{len(routing.schedule.node_schedules)} nodes"
+    )
+    if args.export:
+        from repro.core.io import save_schedule
+
+        save_schedule(routing.schedule, args.export)
+        print(f"schedule written to {args.export}")
+    if args.gantt is not None:
+        from repro.viz import node_gantt
+
+        print()
+        print(node_gantt(routing.schedule, args.gantt))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core.io import load_schedule
+    from repro.viz import link_occupancy_chart, node_gantt
+
+    schedule = load_schedule(args.schedule)
+    messages = len(schedule.slots)
+    print(
+        f"{args.schedule}: period {schedule.tau_in:g} us, {messages} "
+        f"messages, {schedule.num_commands} commands on "
+        f"{len(schedule.node_schedules)} nodes (re-validated on load)"
+    )
+    if args.gantt is not None:
+        print()
+        print(node_gantt(schedule, args.gantt))
+    if args.occupancy:
+        print()
+        print(link_occupancy_chart(schedule, top=args.occupancy))
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.topology import summarize
+
+    rows = []
+    for name in sorted(TOPOLOGIES):
+        summary = summarize(TOPOLOGIES[name]())
+        rows.append((
+            name,
+            summary.num_nodes,
+            summary.num_links,
+            f"{summary.degree_min}-{summary.degree_max}"
+            if summary.degree_min != summary.degree_max
+            else str(summary.degree_min),
+            summary.diameter,
+            f"{summary.average_distance:.2f}",
+            summary.bisection_width,
+        ))
+    print(format_table(
+        ("machine", "nodes", "links", "degree", "diameter", "avg dist",
+         "bisection"),
+        rows,
+        title="Supported 64-node interconnects",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-sr`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sr",
+        description="Scheduled-routing experiments (Shukla & Agrawal, ISCA'91)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_util = sub.add_parser("utilization", help="Fig. 5/6 style U sweep")
+    _add_common(p_util)
+    p_util.add_argument("--loads", type=float, nargs="*", default=None)
+    p_util.set_defaults(func=_cmd_utilization)
+
+    p_pipe = sub.add_parser("pipeline", help="Fig. 7-10 style WR-vs-SR sweep")
+    _add_common(p_pipe)
+    p_pipe.add_argument("--loads", type=float, nargs="*", default=None)
+    p_pipe.set_defaults(func=_cmd_pipeline)
+
+    p_comp = sub.add_parser("compile", help="compile one schedule")
+    _add_common(p_comp)
+    p_comp.add_argument("--load", type=float, default=0.5)
+    p_comp.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="write the compiled schedule (Omega) to a JSON file",
+    )
+    p_comp.add_argument(
+        "--gantt", type=int, metavar="NODE", default=None,
+        help="print the switching-schedule Gantt chart of one node",
+    )
+    p_comp.set_defaults(func=_cmd_compile)
+
+    p_topo = sub.add_parser("topology", help="structural summaries")
+    p_topo.set_defaults(func=_cmd_topology)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="inspect a saved schedule (omega.json)"
+    )
+    p_inspect.add_argument("schedule", help="path to a saved schedule")
+    p_inspect.add_argument("--gantt", type=int, metavar="NODE", default=None)
+    p_inspect.add_argument(
+        "--occupancy", type=int, metavar="TOP", default=0,
+        help="show the TOP busiest links",
+    )
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Scheduled routing (SR) — the paper's primary contribution.
+
+SR integrates the task specification with flow control: from the TFG, the
+allocation, and the input period it computes, at compile time, a
+communication schedule Omega — one switching schedule per node — whose
+independent execution gives every message a clear source-to-destination
+path inside its timing window.  The result is contention-free,
+deadlock-free routing with guaranteed constant throughput.
+
+The compile pipeline (paper Fig. 3):
+
+1. :mod:`~repro.core.timebounds` — release times and deadlines per message
+   on the canonical frame ``[0, tau_in)``; interval decomposition and the
+   message activity matrix ``A`` (Section 4 / 5.1),
+2. :mod:`~repro.core.assignment` + :mod:`~repro.core.utilization` — path
+   assignment matrix ``B``, link/spot/peak utilisation (Defs. 5.1-5.2),
+3. :mod:`~repro.core.assign_paths` — the AssignPaths iterative-improvement
+   heuristic minimising peak utilisation ``U`` (Fig. 4),
+4. :mod:`~repro.core.subsets` — maximal related subsets (Defs. 5.3-5.4),
+5. :mod:`~repro.core.interval_allocation` — the message-interval
+   allocation LP (constraints (3)-(4), Section 5.2),
+6. :mod:`~repro.core.interval_scheduling` — preemptive packing of each
+   interval into link-feasible sets (Def. 5.5, Section 5.3),
+7. :mod:`~repro.core.switching` — node switching schedules omega_i and the
+   communication schedule Omega (Section 5.4),
+8. :mod:`~repro.core.executor` — replay of Omega on the DES kernel,
+   machine-checking contention-freedom and constant throughput.
+
+:func:`~repro.core.compiler.compile_schedule` runs the whole pipeline.
+"""
+
+from repro.core.assign_paths import AssignPathsResult, assign_paths, lsd_assignment
+from repro.core.assignment import PathAssignment
+from repro.core.compiler import CompilerConfig, ScheduledRouting, compile_schedule
+from repro.core.executor import ScheduledRoutingExecutor
+from repro.core.interval_allocation import IntervalAllocation, allocate_intervals
+from repro.core.interval_scheduling import IntervalSchedule, schedule_intervals
+from repro.core.subsets import maximal_subsets
+from repro.core.switching import (
+    CommunicationSchedule,
+    NodeSchedule,
+    SwitchCommand,
+    TransmissionSlot,
+)
+from repro.core.timebounds import IntervalSet, MessageTimeBounds, TimeBoundSet
+from repro.core.utilization import UtilizationReport, utilization_report
+
+__all__ = [
+    "AssignPathsResult",
+    "CommunicationSchedule",
+    "CompilerConfig",
+    "IntervalAllocation",
+    "IntervalSchedule",
+    "IntervalSet",
+    "MessageTimeBounds",
+    "NodeSchedule",
+    "PathAssignment",
+    "ScheduledRouting",
+    "ScheduledRoutingExecutor",
+    "SwitchCommand",
+    "TimeBoundSet",
+    "TransmissionSlot",
+    "UtilizationReport",
+    "allocate_intervals",
+    "assign_paths",
+    "compile_schedule",
+    "lsd_assignment",
+    "maximal_subsets",
+    "schedule_intervals",
+    "utilization_report",
+]

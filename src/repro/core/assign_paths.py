@@ -1,0 +1,198 @@
+"""The AssignPaths heuristic (paper Fig. 4).
+
+Finding the optimal path assignment would require solving the downstream
+allocation and scheduling problems for each of more than ``2^z`` candidate
+assignments, so the paper minimises peak utilisation ``U`` heuristically:
+
+1. start from a random assignment of minimal paths;
+2. *iterative improvement*: locate the peak (a link, or a (link, interval)
+   hot-spot), consider every alternative path of every multi-hop message
+   crossing it, and apply the reroute with the largest peak reduction;
+   when no reroute reduces the peak, apply one that *repositions* it (same
+   value, different link/spot) so the search moves through the
+   link-interval space;
+3. when the inner loop stalls, record the best assignment seen and restart
+   from a fresh random assignment to escape local minima; terminate when a
+   restart yields no improvement.
+
+The LSD->MSD assignment (every message on its deterministic wormhole
+route) is the comparison baseline of the paper's Figs. 5 and 6:
+utilisation under LSD->MSD is uneven, and AssignPaths is "at least as
+low ... for all load values".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.assignment import PathAssignment
+from repro.core.timebounds import TimeBoundSet
+from repro.core.utilization import (
+    UtilizationReport,
+    UtilizationState,
+    utilization_report,
+)
+from repro.topology.base import Topology
+from repro.topology.paths import enumerate_minimal_paths
+from repro.topology.routing import lsd_to_msd_route
+from repro.units import EPS
+
+
+@dataclass(frozen=True)
+class AssignPathsResult:
+    """Outcome of the heuristic: the best assignment and its utilisation."""
+
+    assignment: PathAssignment
+    report: UtilizationReport
+    inner_iterations: int
+    restarts: int
+
+
+def lsd_assignment(
+    topology: Topology,
+    endpoints: Mapping[str, tuple[int, int]],
+) -> PathAssignment:
+    """Every message on its deterministic LSD->MSD route (the baseline)."""
+    paths = {
+        name: lsd_to_msd_route(topology, src, dst)
+        for name, (src, dst) in endpoints.items()
+    }
+    return PathAssignment(topology, endpoints, paths)
+
+
+def assign_paths(
+    bounds: TimeBoundSet,
+    topology: Topology,
+    endpoints: Mapping[str, tuple[int, int]],
+    seed: int = 0,
+    max_paths: int = 48,
+    max_restarts: int = 4,
+    max_inner: int = 200,
+    max_repositions: int = 25,
+) -> AssignPathsResult:
+    """Minimise peak utilisation ``U`` over path assignments.
+
+    Parameters
+    ----------
+    bounds:
+        Message time bounds at the target input period (they fix each
+        message's activity profile, which is path-independent).
+    topology, endpoints:
+        The network and each routed message's (source node, destination
+        node).
+    seed:
+        Seeds the random initial assignments and restarts; runs are
+        reproducible per seed.
+    max_paths:
+        Cap on the alternative-path pool per message (the pool is the
+        deterministic prefix of the full enumeration).
+    max_restarts:
+        Random restarts after the first descent (the Fig. 4 escape from
+        local minima).
+    max_inner:
+        Safety cap on iterative-improvement steps per descent.
+    max_repositions:
+        Cap on same-value peak-repositioning moves per descent (Fig. 4
+        repositions unboundedly; a cap guarantees termination).
+    """
+    rng = random.Random(seed)
+    pools: dict[str, list[list[int]]] = {}
+    for name, (src, dst) in endpoints.items():
+        pools[name] = enumerate_minimal_paths(topology, src, dst, max_paths)
+
+    def random_assignment() -> PathAssignment:
+        return PathAssignment(
+            topology,
+            endpoints,
+            {name: rng.choice(pool) for name, pool in pools.items()},
+        )
+
+    total_inner = 0
+    best: PathAssignment | None = None
+    best_peak = float("inf")
+    restarts_used = 0
+
+    for restart in range(max_restarts + 1):
+        state = UtilizationState(bounds, random_assignment())
+        total_inner += _descend(state, bounds, pools, max_inner, max_repositions)
+        peak = state.peak().value
+        if peak < best_peak - EPS:
+            best = state.assignment.copy()
+            best_peak = peak
+        elif restart > 0:
+            # A restart that finds nothing better: stop searching.
+            restarts_used = restart
+            break
+        restarts_used = restart
+
+    assert best is not None
+    return AssignPathsResult(
+        assignment=best,
+        report=utilization_report(bounds, best),
+        inner_iterations=total_inner,
+        restarts=restarts_used,
+    )
+
+
+def _descend(
+    state: UtilizationState,
+    bounds: TimeBoundSet,
+    pools: Mapping[str, list[list[int]]],
+    max_inner: int,
+    max_repositions: int,
+) -> int:
+    """One iterative-improvement descent; returns iterations performed."""
+    repositions_left = max_repositions
+    iterations = 0
+    seen_positions: set = set()
+    for iterations in range(1, max_inner + 1):
+        witness = state.peak()
+        seen_positions.add(witness.position())
+        candidates = _reroutable_messages(state, bounds, witness)
+        best_move: tuple[str, list[int]] | None = None
+        best_value = witness.value
+        reposition_move: tuple[str, list[int]] | None = None
+        for name in candidates:
+            current_path = state.assignment.path(name)
+            for path in pools[name]:
+                if tuple(path) == current_path:
+                    continue
+                outcome = state.evaluate_reroute(name, path)
+                if outcome.value < best_value - EPS:
+                    best_value = outcome.value
+                    best_move = (name, path)
+                elif (
+                    reposition_move is None
+                    and abs(outcome.value - witness.value) <= EPS
+                    and outcome.position() not in seen_positions
+                ):
+                    reposition_move = (name, path)
+        if best_move is not None:
+            state.reroute(*best_move)
+        elif reposition_move is not None and repositions_left > 0:
+            repositions_left -= 1
+            state.reroute(*reposition_move)
+        else:
+            break
+    return iterations
+
+
+def _reroutable_messages(
+    state: UtilizationState,
+    bounds: TimeBoundSet,
+    witness,
+) -> list[str]:
+    """Multi-hop messages crossing the peak link (and, for a hot-spot,
+    active in the peak interval) — the Fig. 4 reroute candidates."""
+    names = []
+    for name in state.assignment.messages_on(witness.link):
+        if state.assignment.hops(name) < 2:
+            continue  # single-hop messages have a unique minimal path
+        if witness.interval >= 0:
+            i = bounds.index[name]
+            if not bounds.activity[i, witness.interval]:
+                continue
+        names.append(name)
+    return names

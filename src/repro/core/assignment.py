@@ -1,0 +1,102 @@
+"""Path assignments: which minimal path each routed message uses.
+
+The paper encodes an assignment as the ``N_m x N_l`` matrix ``B`` with
+``b_ij = 1`` when message ``M_i`` uses link ``L_j``.  Here an assignment
+maps message names to concrete node paths (from which ``B`` follows); it
+is the object the AssignPaths heuristic mutates and the later compiler
+stages consume.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import RoutingError
+from repro.topology.base import Link, Topology
+from repro.topology.routing import links_on_path, validate_path
+
+
+class PathAssignment:
+    """Message name -> minimal node path, with cached link sets.
+
+    Parameters
+    ----------
+    topology:
+        The interconnect the paths live on.
+    endpoints:
+        ``message name -> (src node, dst node)`` for every routed message.
+    paths:
+        Initial path per message; each is validated as a minimal simple
+        path between the message's endpoints.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        endpoints: Mapping[str, tuple[int, int]],
+        paths: Mapping[str, list[int]],
+    ):
+        self.topology = topology
+        self.endpoints = dict(endpoints)
+        missing = sorted(set(self.endpoints) - set(paths))
+        if missing:
+            raise RoutingError(f"no path provided for messages {missing}")
+        self._paths: dict[str, tuple[int, ...]] = {}
+        self._links: dict[str, tuple[Link, ...]] = {}
+        for name in self.endpoints:
+            self.set_path(name, list(paths[name]))
+
+    @property
+    def messages(self) -> tuple[str, ...]:
+        """Routed message names in a fixed order."""
+        return tuple(self.endpoints)
+
+    def path(self, name: str) -> tuple[int, ...]:
+        """The node path currently assigned to a message."""
+        return self._paths[name]
+
+    def links(self, name: str) -> tuple[Link, ...]:
+        """The undirected links of the assigned path."""
+        return self._links[name]
+
+    def hops(self, name: str) -> int:
+        """Hop count of the assigned path."""
+        return len(self._paths[name]) - 1
+
+    def set_path(self, name: str, path: list[int]) -> None:
+        """Reassign a message to a (validated) minimal path."""
+        src, dst = self.endpoints[name]
+        validate_path(self.topology, path, src, dst, require_minimal=True)
+        self._paths[name] = tuple(path)
+        self._links[name] = links_on_path(path)
+
+    def used_links(self) -> set[Link]:
+        """All links used by at least one message."""
+        result: set[Link] = set()
+        for links in self._links.values():
+            result.update(links)
+        return result
+
+    def messages_on(self, link: Link) -> tuple[str, ...]:
+        """Messages whose assigned path uses ``link``."""
+        return tuple(
+            name for name in self.endpoints if link in self._links[name]
+        )
+
+    def copy(self) -> "PathAssignment":
+        """An independent copy (the heuristic snapshots its best state)."""
+        return PathAssignment(
+            self.topology,
+            self.endpoints,
+            {name: list(path) for name, path in self._paths.items()},
+        )
+
+    def as_dict(self) -> dict[str, tuple[int, ...]]:
+        """Immutable view of the assignment for result objects."""
+        return dict(self._paths)
+
+    def __repr__(self) -> str:
+        return (
+            f"<PathAssignment {len(self.endpoints)} messages on "
+            f"{self.topology.name}>"
+        )

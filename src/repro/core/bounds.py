@@ -1,0 +1,163 @@
+"""Assignment-invariant feasibility bounds on the input period.
+
+Before running the scheduled-routing compiler (or to explain why it
+failed), these bounds answer "could *any* path assignment work?".  All of
+them are necessary conditions — independent of which minimal paths
+messages take — so a compile success at ``tau_in`` implies every bound is
+satisfied, a cross-check the test suite enforces.
+
+- **compute bound**: each application processor must fit its tasks'
+  execution time into one period;
+- **node throughput bounds**: all traffic entering or leaving a node
+  crosses its ``degree`` incident links, each carrying one message at a
+  time — per period, a node moves at most ``degree * tau_in`` of
+  transmission time;
+- **bisection bound**: traffic between the two halves of the machine
+  crosses at most ``bisection_width`` links;
+- **window overloads**: messages released at the same instant and docked
+  at the same node must all flow through that node's links inside one
+  message window (``tau_c``) — a *structural* condition independent of
+  ``tau_in``.  A violation means the workload/allocation pair is
+  unschedulable at every input rate (this is exactly what breaks the
+  8-model DVB on 64-node degree-<=9 machines at B = 64; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.tfg.analysis import TFGTiming
+from repro.topology.analysis import bisection_width
+from repro.topology.base import Topology
+from repro.units import EPS
+
+
+@dataclass(frozen=True)
+class FeasibilityBounds:
+    """Necessary conditions for scheduled routing at a given placement.
+
+    ``min_period`` aggregates the period lower bounds; schedules can only
+    exist for ``tau_in >= min_period`` *and* ``window_overloads`` empty.
+    """
+
+    compute_bound: float
+    node_throughput_bound: float
+    bisection_bound: float
+    window_overloads: tuple[tuple[int, float, str, float, float], ...]
+    """Violations as ``(node, release, reason, demand, capacity)`` tuples.
+
+    ``reason`` is ``"volume"`` (total transmission time exceeds
+    ``degree * window``) or ``"exclusive"`` (more messages longer than
+    half a window — pairwise unable to share a link — than the node has
+    links)."""
+
+    @property
+    def min_period(self) -> float:
+        """The tightest period lower bound."""
+        return max(
+            self.compute_bound,
+            self.node_throughput_bound,
+            self.bisection_bound,
+        )
+
+    @property
+    def structurally_feasible(self) -> bool:
+        """False when no input period can ever be schedulable."""
+        return not self.window_overloads
+
+    def admits(self, tau_in: float) -> bool:
+        """True when the necessary conditions hold at ``tau_in``.
+
+        (Necessary, not sufficient: the compiler may still fail.)
+        """
+        return self.structurally_feasible and (
+            tau_in >= self.min_period - EPS
+        )
+
+
+def feasibility_bounds(
+    timing: TFGTiming,
+    topology: Topology,
+    allocation: Mapping[str, int],
+) -> FeasibilityBounds:
+    """Compute every assignment-invariant bound for one placement."""
+    tfg = timing.tfg
+
+    # Compute bound: per-node total execution time.
+    node_exec: dict[int, float] = {}
+    for task in tfg.tasks:
+        node = allocation[task.name]
+        node_exec[node] = node_exec.get(node, 0.0) + timing.exec_time(task.name)
+    compute_bound = max(node_exec.values(), default=0.0)
+
+    # Node throughput: per node, transmission time of all routed messages
+    # docked there (in or out), over its degree.
+    node_traffic: dict[int, float] = {}
+    for message in tfg.messages:
+        src = allocation[message.src]
+        dst = allocation[message.dst]
+        if src == dst:
+            continue
+        xmit = timing.xmit_time(message.name)
+        node_traffic[src] = node_traffic.get(src, 0.0) + xmit
+        node_traffic[dst] = node_traffic.get(dst, 0.0) + xmit
+    node_throughput_bound = max(
+        (traffic / topology.degree(node)
+         for node, traffic in node_traffic.items()),
+        default=0.0,
+    )
+
+    # Bisection: traffic between address halves over the crossing links.
+    width = bisection_width(topology)
+    top_radix = topology.radices[-1]
+    threshold = top_radix // 2
+
+    def side(node: int) -> bool:
+        return topology.address(node)[-1] >= threshold
+
+    crossing_traffic = sum(
+        timing.xmit_time(m.name)
+        for m in tfg.messages
+        if allocation[m.src] != allocation[m.dst]
+        and side(allocation[m.src]) != side(allocation[m.dst])
+    )
+    bisection_bound = crossing_traffic / width if width else 0.0
+
+    # Window overloads: group routed messages by (docked node, release
+    # instant); each group must fit through the node's links within one
+    # message window.
+    asap = timing.asap_schedule()
+    window = timing.message_window
+    groups: dict[tuple[int, float], list[float]] = {}
+    for message in tfg.messages:
+        src = allocation[message.src]
+        dst = allocation[message.dst]
+        if src == dst:
+            continue
+        release = asap[message.src][1]
+        xmit = timing.xmit_time(message.name)
+        for node in (src, dst):
+            groups.setdefault((node, release), []).append(xmit)
+    violations = []
+    for (node, release), xmits in groups.items():
+        degree = topology.degree(node)
+        demand = sum(xmits)
+        capacity = degree * window
+        if demand > capacity + EPS:
+            violations.append((node, release, "volume", demand, capacity))
+        # Messages longer than half a window cannot share a link within
+        # the window, so each needs its own link (a clique bound).
+        exclusive = sum(1 for x in xmits if x > window / 2 + EPS)
+        if exclusive > degree:
+            violations.append(
+                (node, release, "exclusive", float(exclusive), float(degree))
+            )
+    overloads = tuple(sorted(violations))
+
+    return FeasibilityBounds(
+        compute_bound=compute_bound,
+        node_throughput_bound=node_throughput_bound,
+        bisection_bound=bisection_bound,
+        window_overloads=overloads,
+    )

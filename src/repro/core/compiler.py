@@ -1,0 +1,269 @@
+"""The end-to-end scheduled-routing compiler (paper Fig. 3).
+
+``compile_schedule`` chains every stage: time bounds -> path assignment ->
+peak-utilisation gate -> maximal subsets -> message-interval allocation ->
+interval scheduling -> node switching schedules, and machine-validates the
+result.  Failures raise the stage-specific
+:class:`~repro.errors.SchedulingError` subclasses; the compiler can retry
+the downstream stages under fresh path-assignment seeds (the feedback
+between steps the paper's concluding remarks propose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.assign_paths import assign_paths, lsd_assignment
+from repro.core.assignment import PathAssignment
+from repro.core.interval_allocation import IntervalAllocation, allocate_intervals
+from repro.core.interval_scheduling import schedule_intervals
+from repro.core.subsets import maximal_subsets
+from repro.core.switching import CommunicationSchedule, build_schedule
+from repro.core.timebounds import TimeBoundSet, compute_time_bounds
+from repro.core.utilization import UtilizationReport, utilization_report
+from repro.errors import (
+    IntervalSchedulingError,
+    SchedulingError,
+    UtilizationExceededError,
+)
+from repro.mapping.allocation import validate_allocation
+from repro.tfg.analysis import TFGTiming
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Knobs of the scheduled-routing compiler.
+
+    Attributes
+    ----------
+    seed:
+        Base seed for the path-assignment heuristic.
+    use_assign_paths:
+        When False, messages stay on their LSD->MSD routes (the Fig. 5/6
+        baseline); the heuristic is skipped.
+    max_paths, max_restarts:
+        Forwarded to :func:`~repro.core.assign_paths.assign_paths`.
+    retries:
+        Additional full-pipeline attempts under different assignment seeds
+        when a downstream LP fails.  Ignored for LSD->MSD assignments,
+        which are deterministic.
+    feedback_rounds:
+        Per-subset allocation <-> interval-scheduling feedback iterations
+        (the paper's Fig. 3 feedback arrow): when an interval proves
+        unpackable, the allocation LP is re-solved with the congested
+        interval's total demand capped below the overflow, pushing work
+        into the message windows' other intervals.
+    sync_margin:
+        CP clock-synchronization guard added to every message's
+        transmission requirement (concluding-remarks extension), in
+        microseconds.
+    """
+
+    seed: int = 0
+    use_assign_paths: bool = True
+    max_paths: int = 48
+    max_restarts: int = 4
+    retries: int = 2
+    feedback_rounds: int = 2
+    sync_margin: float = 0.0
+
+
+@dataclass
+class ScheduledRouting:
+    """A successfully compiled scheduled-routing solution.
+
+    Carries the communication schedule Omega plus every intermediate
+    artifact an experiment may want to report.
+    """
+
+    schedule: CommunicationSchedule
+    utilization: UtilizationReport
+    bounds: TimeBoundSet
+    subsets: list[tuple[str, ...]]
+    allocations: list[IntervalAllocation]
+    tau_in: float
+    local_messages: tuple[str, ...]
+    attempts: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def paths(self) -> dict[str, tuple[int, ...]]:
+        """Final message -> node-path mapping."""
+        return dict(self.schedule.assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScheduledRouting tau_in={self.tau_in:.3f} "
+            f"U={self.utilization.peak:.3f} "
+            f"commands={self.schedule.num_commands}>"
+        )
+
+
+def routed_and_local_messages(
+    timing: TFGTiming,
+    allocation: Mapping[str, int],
+) -> tuple[list[str], list[str]]:
+    """Split messages into network-traversing and node-local ones."""
+    routed: list[str] = []
+    local: list[str] = []
+    for message in timing.tfg.messages:
+        if allocation[message.src] == allocation[message.dst]:
+            local.append(message.name)
+        else:
+            routed.append(message.name)
+    return routed, local
+
+
+def compile_schedule(
+    timing: TFGTiming,
+    topology: Topology,
+    allocation: Mapping[str, int],
+    tau_in: float,
+    config: CompilerConfig | None = None,
+) -> ScheduledRouting:
+    """Compile a contention-free communication schedule for one period.
+
+    Raises the stage-specific :class:`~repro.errors.SchedulingError`
+    subclass of the *last* failed attempt when no attempt succeeds:
+    :class:`~repro.errors.UtilizationExceededError` when the requirements
+    exceed link capacity, :class:`~repro.errors.IntervalAllocationError`
+    or :class:`~repro.errors.IntervalSchedulingError` when an LP stage
+    fails.
+    """
+    config = config or CompilerConfig()
+    validate_allocation(timing.tfg, topology, allocation, exclusive=False)
+    routed, local = routed_and_local_messages(timing, allocation)
+    bounds = compute_time_bounds(
+        timing, tau_in, routed, extra_duration=config.sync_margin
+    )
+    endpoints = {
+        name: (
+            allocation[timing.tfg.message(name).src],
+            allocation[timing.tfg.message(name).dst],
+        )
+        for name in routed
+    }
+
+    attempts = 1 + (config.retries if config.use_assign_paths else 0)
+    last_error: SchedulingError | None = None
+    for attempt in range(attempts):
+        try:
+            return _attempt(
+                bounds, topology, endpoints, tau_in, local, config,
+                seed=config.seed + attempt,
+                attempt_number=attempt + 1,
+            )
+        except SchedulingError as error:
+            last_error = error
+    assert last_error is not None
+    raise last_error
+
+
+def _attempt(
+    bounds: TimeBoundSet,
+    topology: Topology,
+    endpoints: Mapping[str, tuple[int, int]],
+    tau_in: float,
+    local: list[str],
+    config: CompilerConfig,
+    seed: int,
+    attempt_number: int,
+) -> ScheduledRouting:
+    """One full pipeline attempt under one assignment seed."""
+    if config.use_assign_paths:
+        heuristic = assign_paths(
+            bounds,
+            topology,
+            endpoints,
+            seed=seed,
+            max_paths=config.max_paths,
+            max_restarts=config.max_restarts,
+        )
+        assignment: PathAssignment = heuristic.assignment
+        report = heuristic.report
+    else:
+        assignment = lsd_assignment(topology, endpoints)
+        report = utilization_report(bounds, assignment)
+
+    if not report.feasible:
+        raise UtilizationExceededError(
+            report.peak,
+            witness=f"{report.witness_kind} {report.witness_link}",
+        )
+
+    subsets = maximal_subsets(bounds, assignment)
+    allocations: list[IntervalAllocation] = []
+    interval_schedules = []
+    for index, subset in enumerate(subsets):
+        interval_allocation, schedules = _allocate_with_feedback(
+            bounds, assignment, subset, index, config.feedback_rounds
+        )
+        allocations.append(interval_allocation)
+        interval_schedules.append(schedules)
+
+    schedule = build_schedule(bounds, assignment, interval_schedules)
+    return _package(
+        schedule, report, bounds, subsets, allocations, tau_in, local,
+        attempt_number,
+    )
+
+
+def _allocate_with_feedback(
+    bounds: TimeBoundSet,
+    assignment: PathAssignment,
+    subset: tuple[str, ...],
+    index: int,
+    feedback_rounds: int,
+):
+    """Allocation <-> interval-scheduling loop for one maximal subset.
+
+    When interval scheduling reports an unpackable interval, the
+    allocation is re-solved with that interval's total demand capped just
+    below its current level minus the overflow, shifting the excess into
+    the messages' other active intervals.  Raises the *first* scheduling
+    error when the feedback budget runs out, or the allocation error if a
+    cap makes the LP infeasible.
+    """
+    caps: dict[int, float] = {}
+    first_error: IntervalSchedulingError | None = None
+    for _ in range(feedback_rounds + 1):
+        interval_allocation = allocate_intervals(
+            bounds, assignment, subset, subset_index=index,
+            interval_caps=caps or None,
+        )
+        try:
+            schedules = schedule_intervals(
+                assignment, interval_allocation, bounds.intervals.lengths
+            )
+            return interval_allocation, schedules
+        except IntervalSchedulingError as error:
+            if first_error is None:
+                first_error = error
+            k = error.interval_index
+            current = sum(interval_allocation.per_interval(k).values())
+            overflow = error.required - error.available
+            caps[k] = min(
+                caps.get(k, float("inf")),
+                current - overflow * 1.05,
+            )
+    assert first_error is not None
+    raise first_error
+
+
+def _package(
+    schedule, report, bounds, subsets, allocations, tau_in, local,
+    attempt_number,
+) -> ScheduledRouting:
+    """Assemble the final result object."""
+    return ScheduledRouting(
+        schedule=schedule,
+        utilization=report,
+        bounds=bounds,
+        subsets=subsets,
+        allocations=allocations,
+        tau_in=tau_in,
+        local_messages=tuple(local),
+        attempts=attempt_number,
+    )

@@ -1,0 +1,171 @@
+"""Message-interval allocation (paper Section 5.2).
+
+For one maximal subset, decide how much of each message is transmitted in
+each of its active intervals.  The paper's constraints:
+
+- (3) the allocations of a message across intervals sum to its
+  transmission time;
+- (4) the allocations of all messages using a link within an interval do
+  not exceed the interval's length.
+
+The paper notes the analogy to scheduling periodic tasks on multiple
+processors [LM81] with the twist that a message occupies *several* links
+simultaneously.  Because the downstream interval scheduling is preemptive,
+the LP relaxation decides feasibility exactly at this stage; rather than a
+bare feasibility check we minimise the worst per-(link, interval) load
+factor ``z`` (constraint (4) scaled by ``z``), which spreads traffic and
+maximises the chance that interval scheduling succeeds — the paper's
+observed failure mode (Fig. 9) is exactly an allocation that satisfies
+(4) but leaves some interval unpackable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.assignment import PathAssignment
+from repro.core.timebounds import TimeBoundSet
+from repro.errors import IntervalAllocationError
+from repro.topology.base import Link
+
+#: Numerical tolerance for LP feasibility checks.
+LP_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class IntervalAllocation:
+    """Solution of the allocation LP for one maximal subset.
+
+    ``allocation[(message, k)]`` is the transmission time assigned to the
+    message within interval ``A_k`` (the paper's ``P = [p_ik]`` restricted
+    to this subset); ``load_factor`` is the minimised worst
+    (link, interval) load ratio ``z``.
+    """
+
+    subset: tuple[str, ...]
+    allocation: dict[tuple[str, int], float]
+    load_factor: float
+
+    def per_interval(self, k: int) -> dict[str, float]:
+        """Messages with positive allocation in interval ``k``."""
+        return {
+            name: time
+            for (name, interval), time in self.allocation.items()
+            if interval == k and time > LP_TOL
+        }
+
+    def intervals_used(self) -> tuple[int, ...]:
+        """Sorted interval indices that carry any allocation."""
+        return tuple(
+            sorted({k for (_, k), t in self.allocation.items() if t > LP_TOL})
+        )
+
+
+def allocate_intervals(
+    bounds: TimeBoundSet,
+    assignment: PathAssignment,
+    subset: tuple[str, ...],
+    subset_index: int = 0,
+    interval_caps: dict[int, float] | None = None,
+) -> IntervalAllocation:
+    """Solve the allocation LP for one maximal subset.
+
+    ``interval_caps`` optionally bounds the subset's *total* allocation
+    placed into specific intervals — the feedback knob the compiler turns
+    when interval scheduling reports an unpackable interval (the paper's
+    Fig. 3 feedback arrow): demand is pushed out of the congested
+    interval and the downstream packing retried.
+
+    Raises :class:`~repro.errors.IntervalAllocationError` when constraints
+    (3)-(4) (plus any caps) cannot be met — the subset's messages demand
+    more of some link-interval than it can carry.
+    """
+    lengths = bounds.intervals.lengths
+    # Variable layout: one x per (message, active interval), then z.
+    variables: list[tuple[str, int]] = []
+    for name in subset:
+        for k in bounds.active_intervals(name):
+            variables.append((name, k))
+    var_index = {v: i for i, v in enumerate(variables)}
+    num_x = len(variables)
+    z_index = num_x
+
+    # Equality (3): per message, allocations sum to its duration.
+    a_eq = np.zeros((len(subset), num_x + 1))
+    b_eq = np.zeros(len(subset))
+    for row, name in enumerate(subset):
+        for k in bounds.active_intervals(name):
+            a_eq[row, var_index[(name, k)]] = 1.0
+        b_eq[row] = bounds.bounds[name].duration
+
+    # Inequality (4), scaled by z: per (link, interval),
+    # sum of allocations - z * |A_k| <= 0.
+    rows: list[np.ndarray] = []
+    links_seen: dict[tuple[Link, int], list[int]] = {}
+    for name in subset:
+        for link in assignment.links(name):
+            for k in bounds.active_intervals(name):
+                links_seen.setdefault((link, k), []).append(
+                    var_index[(name, k)]
+                )
+    for (link, k), columns in links_seen.items():
+        row = np.zeros(num_x + 1)
+        row[columns] = 1.0
+        row[z_index] = -lengths[k]
+        rows.append(row)
+    b_rows = [0.0] * len(rows)
+    # Feedback caps: total subset allocation into interval k <= cap.
+    for k, cap in (interval_caps or {}).items():
+        columns = [
+            var_index[(name, k)]
+            for name in subset
+            if (name, k) in var_index
+        ]
+        if not columns:
+            continue
+        row = np.zeros(num_x + 1)
+        row[columns] = 1.0
+        rows.append(row)
+        b_rows.append(max(cap, 0.0))
+    a_ub = np.vstack(rows) if rows else None
+    b_ub = np.asarray(b_rows) if rows else None
+
+    # Objective: minimise z.  x bounded by interval lengths (a message
+    # cannot transmit longer than the interval it sits in).
+    c = np.zeros(num_x + 1)
+    c[z_index] = 1.0
+    x_bounds = [(0.0, lengths[k]) for (_, k) in variables] + [(0.0, None)]
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=x_bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise IntervalAllocationError(
+            subset_index, f"allocation LP failed: {result.message}"
+        )
+    z = float(result.x[z_index])
+    if z > 1.0 + LP_TOL:
+        raise IntervalAllocationError(
+            subset_index,
+            f"minimal worst link-interval load {z:.4f} exceeds 1 "
+            "(paper constraint (4))",
+        )
+    allocation = {
+        variables[i]: float(result.x[i])
+        for i in range(num_x)
+        if result.x[i] > LP_TOL
+    }
+    return IntervalAllocation(
+        subset=subset,
+        allocation=allocation,
+        load_factor=z,
+    )

@@ -1,0 +1,154 @@
+"""Serialization of communication schedules.
+
+A compiled schedule Omega is a deployable artifact: per-node switching
+command lists that the communication processors execute.  This module
+round-trips it through JSON so a schedule can be compiled once, stored
+next to the application binary, and re-validated at load time.
+
+The format is versioned and self-describing:
+
+.. code-block:: json
+
+    {
+      "format": "repro.schedule/1",
+      "tau_in": 96.15,
+      "assignment": {"b0": [1, 3, 7]},
+      "slots": {"b0": [{"start": 0.0, "duration": 12.0}]},
+      "bounds": {"b0": {"release": 10.0, "deadline": 60.0,
+                         "duration": 12.0,
+                         "windows": [[10.0, 60.0]]}}
+    }
+
+Node schedules are not stored — they are a pure projection of the slots
+and are rebuilt (and re-validated) on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.switching import (
+    CommunicationSchedule,
+    NodeSchedule,
+    TransmissionSlot,
+    _slot_commands,
+)
+from repro.core.timebounds import MessageTimeBounds, TimeBoundSet
+from repro.errors import ScheduleValidationError
+
+FORMAT = "repro.schedule/1"
+
+
+def schedule_to_dict(schedule: CommunicationSchedule) -> dict[str, Any]:
+    """Serialize a schedule (slots + assignment + bounds) to a dict."""
+    data: dict[str, Any] = {
+        "format": FORMAT,
+        "tau_in": schedule.tau_in,
+        "assignment": {
+            name: list(path) for name, path in schedule.assignment.items()
+        },
+        "slots": {
+            name: [
+                {"start": slot.start, "duration": slot.duration}
+                for slot in slots
+            ]
+            for name, slots in schedule.slots.items()
+        },
+    }
+    if schedule.bounds is not None:
+        data["bounds"] = {
+            name: {
+                "release": bound.release,
+                "deadline": bound.deadline,
+                "duration": bound.duration,
+                "windows": [list(w) for w in bound.windows],
+            }
+            for name, bound in schedule.bounds.bounds.items()
+        }
+    return data
+
+
+def schedule_from_dict(data: dict[str, Any]) -> CommunicationSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output.
+
+    Node schedules are regenerated from the slots and the whole object is
+    re-validated, so a tampered file cannot produce a schedule that
+    violates the contention-freedom invariants.
+    """
+    if data.get("format") != FORMAT:
+        raise ScheduleValidationError(
+            f"unknown schedule format {data.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    tau_in = float(data["tau_in"])
+    assignment = {
+        name: tuple(int(n) for n in path)
+        for name, path in data["assignment"].items()
+    }
+    slots: dict[str, tuple[TransmissionSlot, ...]] = {}
+    for name, raw_slots in data["slots"].items():
+        if name not in assignment:
+            raise ScheduleValidationError(
+                f"slots for unassigned message {name!r}"
+            )
+        slots[name] = tuple(
+            TransmissionSlot(
+                message=name,
+                start=float(s["start"]),
+                duration=float(s["duration"]),
+                path=assignment[name],
+            )
+            for s in raw_slots
+        )
+
+    bounds = None
+    if "bounds" in data:
+        parsed = {
+            name: MessageTimeBounds(
+                name=name,
+                release=float(b["release"]),
+                deadline=float(b["deadline"]),
+                duration=float(b["duration"]),
+                windows=tuple(
+                    (float(w[0]), float(w[1])) for w in b["windows"]
+                ),
+            )
+            for name, b in data["bounds"].items()
+        }
+        bounds = TimeBoundSet(tau_in, parsed)
+
+    node_commands: dict[int, list] = {}
+    for message_slots in slots.values():
+        for slot in message_slots:
+            for command, node in _slot_commands(slot):
+                node_commands.setdefault(node, []).append(command)
+    node_schedules = {
+        node: NodeSchedule(
+            node=node,
+            commands=tuple(
+                sorted(commands, key=lambda c: (c.time, c.message))
+            ),
+        )
+        for node, commands in node_commands.items()
+    }
+    schedule = CommunicationSchedule(
+        tau_in=tau_in,
+        slots=slots,
+        node_schedules=node_schedules,
+        bounds=bounds,
+        assignment=assignment,
+    )
+    schedule.validate()
+    return schedule
+
+
+def save_schedule(schedule: CommunicationSchedule, path: str | Path) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> CommunicationSchedule:
+    """Read and re-validate a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

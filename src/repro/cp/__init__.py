@@ -1,0 +1,20 @@
+"""Communication processor (CP) model — paper Fig. 2.
+
+Each node's CP is an ``(n+1) x (n+1)`` crossbar (``n`` = topology degree)
+whose controller executes the node's switching schedule: at the commanded
+instants it connects input channels (from adjacent nodes, or the AP's
+output buffers) to output channels (to adjacent nodes, or the AP's input
+buffers).  Separate per-channel AP buffers let a node send and receive
+simultaneously on different channels; a channel itself carries one
+message at a time.
+
+This package is an independent hardware-level re-validation of a
+communication schedule: :class:`~repro.cp.processor.CommunicationProcessor`
+replays a node's schedule on a :class:`~repro.cp.crossbar.Crossbar` and
+raises on any physically impossible configuration.
+"""
+
+from repro.cp.crossbar import Crossbar
+from repro.cp.processor import CommunicationProcessor, replay_schedule
+
+__all__ = ["CommunicationProcessor", "Crossbar", "replay_schedule"]

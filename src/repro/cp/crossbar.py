@@ -1,0 +1,96 @@
+"""A crossbar switch with exclusive channel ports.
+
+Ports are identified as in :mod:`repro.core.switching`: the sentinel
+``AP_PORT`` for the local application processor's buffer bank, or an
+adjacent node id for the (half-duplex) channel towards that node.  The AP
+buffer bank has a separate buffer per channel (paper Fig. 2), so ``AP``
+connections never conflict with each other; channel ports are exclusive
+in both directions at once (half-duplex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.switching import AP_PORT, Port
+from repro.errors import ScheduleValidationError
+
+
+@dataclass(frozen=True)
+class Connection:
+    """An active crossbar connection carrying one message."""
+
+    input_port: Port
+    output_port: Port
+    message: str
+
+
+class Crossbar:
+    """Tracks active connections and enforces port exclusivity.
+
+    Parameters
+    ----------
+    node:
+        Owning node id (for error messages).
+    channel_ports:
+        The neighbor ids this crossbar has channels to.
+    """
+
+    def __init__(self, node: int, channel_ports: tuple[int, ...]):
+        self.node = node
+        self.channel_ports = frozenset(channel_ports)
+        self._active: dict[Port, Connection] = {}  # channel port -> connection
+
+    @property
+    def active_connections(self) -> tuple[Connection, ...]:
+        """Distinct live connections."""
+        return tuple(dict.fromkeys(self._active.values()))
+
+    def _check_port(self, port: Port) -> None:
+        if port == AP_PORT:
+            return
+        if port not in self.channel_ports:
+            raise ScheduleValidationError(
+                f"node {self.node}: no channel to {port!r} "
+                f"(channels: {sorted(self.channel_ports)})"
+            )
+
+    def connect(self, input_port: Port, output_port: Port, message: str) -> Connection:
+        """Establish a connection; both channel ports must be free."""
+        self._check_port(input_port)
+        self._check_port(output_port)
+        if input_port == output_port:
+            raise ScheduleValidationError(
+                f"node {self.node}: connection loops port {input_port!r}"
+            )
+        connection = Connection(input_port, output_port, message)
+        for port in (input_port, output_port):
+            if port == AP_PORT:
+                continue  # per-channel AP buffers never conflict
+            busy = self._active.get(port)
+            if busy is not None:
+                raise ScheduleValidationError(
+                    f"node {self.node}: channel {port!r} busy with "
+                    f"{busy.message!r} while connecting {message!r}"
+                )
+        for port in (input_port, output_port):
+            if port != AP_PORT:
+                self._active[port] = connection
+        return connection
+
+    def disconnect(self, connection: Connection) -> None:
+        """Tear down a connection previously returned by :meth:`connect`."""
+        found = False
+        for port in (connection.input_port, connection.output_port):
+            if port == AP_PORT:
+                continue
+            if self._active.get(port) is connection:
+                del self._active[port]
+                found = True
+        if not found:
+            # connect() rejects AP->AP loops, so every live connection
+            # holds at least one channel port.
+            raise ScheduleValidationError(
+                f"node {self.node}: disconnect of inactive connection "
+                f"{connection}"
+            )

@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating the paper's figures.
+
+Each figure is a function returning structured rows; the benchmark
+harness calls these and prints them (see ``benchmarks/``), and the
+examples reuse them for smaller demonstrations.  The experiment index
+lives in DESIGN.md; paper-vs-measured outcomes are recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.setup import ExperimentSetup, standard_setup
+from repro.experiments.figures import (
+    PipelinePoint,
+    UtilizationPoint,
+    pipeline_comparison,
+    utilization_comparison,
+)
+from repro.experiments.matrix import (
+    MatrixRow,
+    feasibility_matrix,
+    format_matrix,
+)
+
+__all__ = [
+    "ExperimentSetup",
+    "MatrixRow",
+    "PipelinePoint",
+    "UtilizationPoint",
+    "feasibility_matrix",
+    "format_matrix",
+    "pipeline_comparison",
+    "standard_setup",
+    "utilization_comparison",
+]

@@ -1,0 +1,105 @@
+"""The feasibility matrix: every machine x bandwidth x load verdict.
+
+Condenses the paper's Figs. 7-10 into one table: for each (topology,
+bandwidth) pair, which of the twelve load points scheduled routing can
+serve and which compiler stage rejected the rest.  The design-sweep
+example and the TAB-MATRIX bench both print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments.setup import standard_setup
+from repro.tfg.graph import TaskFlowGraph
+from repro.topology.base import Topology
+
+#: Verdict code when the point compiled.
+OK = "OK"
+
+#: Abbreviations for compiler failure stages.
+STAGE_CODES = {
+    "utilization": "U>1",
+    "interval-allocation": "ALO",
+    "interval-scheduling": "SCH",
+    "scheduling": "ERR",
+}
+
+
+@dataclass(frozen=True)
+class MatrixRow:
+    """Verdicts for one (topology, bandwidth) configuration."""
+
+    topology: str
+    bandwidth: float
+    verdicts: tuple[str, ...]
+    loads: tuple[float, ...]
+
+    @property
+    def feasible_count(self) -> int:
+        return sum(1 for v in self.verdicts if v == OK)
+
+    @property
+    def highest_feasible_load(self) -> float | None:
+        feasible = [
+            load for load, v in zip(self.loads, self.verdicts) if v == OK
+        ]
+        return max(feasible) if feasible else None
+
+
+def feasibility_matrix(
+    tfg: TaskFlowGraph,
+    topologies: list[Topology],
+    bandwidths: list[float],
+    loads: list[float],
+    config: CompilerConfig | None = None,
+    allocation=None,
+) -> list[MatrixRow]:
+    """Compile the workload at every (topology, bandwidth, load) point.
+
+    ``allocation`` may be a callable ``(tfg, topology) -> Allocation`` to
+    override the default sequential placement.
+    """
+    config = config or CompilerConfig()
+    rows: list[MatrixRow] = []
+    for bandwidth in bandwidths:
+        for topology in topologies:
+            kwargs = {}
+            if allocation is not None:
+                kwargs["allocation"] = allocation(tfg, topology)
+            setup = standard_setup(tfg, topology, bandwidth, **kwargs)
+            verdicts = []
+            for load in loads:
+                try:
+                    compile_schedule(
+                        setup.timing, setup.topology, setup.allocation,
+                        setup.tau_in_for_load(load), config,
+                    )
+                    verdicts.append(OK)
+                except SchedulingError as error:
+                    verdicts.append(STAGE_CODES.get(error.stage, "ERR"))
+            rows.append(
+                MatrixRow(
+                    topology=topology.name,
+                    bandwidth=bandwidth,
+                    verdicts=tuple(verdicts),
+                    loads=tuple(loads),
+                )
+            )
+    return rows
+
+
+def format_matrix(rows: list[MatrixRow]) -> str:
+    """Render the matrix as a fixed-width table."""
+    from repro.report import format_table
+
+    if not rows:
+        return "(empty matrix)"
+    headers = ["machine", "B"] + [f"{load:.2f}" for load in rows[0].loads]
+    table = [
+        [row.topology, f"{row.bandwidth:g}"] + list(row.verdicts)
+        for row in rows
+    ]
+    return format_table(headers, table, title="SR feasibility matrix")

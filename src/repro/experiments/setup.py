@@ -1,0 +1,68 @@
+"""Standard experimental setup matching the paper's Section 6.
+
+The paper fixes application-processor speeds so that ``tau_m / tau_c = 1``
+at B = 64 bytes/us; the *same machine* run at B = 128 bytes/us then has
+``tau_m / tau_c = 0.5`` (halved message times, unchanged task times).  All
+tasks take the same time.  Twelve input periods are swept between
+``tau_c`` and ``5 * tau_c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.mapping.allocation import Allocation, sequential_allocation
+from repro.tfg.analysis import TFGTiming, speeds_for_ratio
+from repro.tfg.graph import TaskFlowGraph
+from repro.topology.base import Topology
+
+#: The reference bandwidth at which speeds are calibrated (bytes/us).
+REFERENCE_BANDWIDTH = 64.0
+
+Allocator = Callable[[TaskFlowGraph, Topology], Allocation]
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """A fully pinned experiment: workload, machine, placement."""
+
+    tfg: TaskFlowGraph
+    topology: Topology
+    timing: TFGTiming
+    allocation: dict[str, int]
+
+    @property
+    def tau_c(self) -> float:
+        return self.timing.tau_c
+
+    def tau_in_for_load(self, load: float) -> float:
+        """Input period realizing a normalized load ``tau_c / tau_in``."""
+        if not 0 < load <= 1:
+            raise ValueError(f"normalized load must be in (0, 1], got {load}")
+        return self.timing.tau_c / load
+
+
+def standard_setup(
+    tfg: TaskFlowGraph,
+    topology: Topology,
+    bandwidth: float,
+    allocator: Allocator = sequential_allocation,
+    allocation: Mapping[str, int] | None = None,
+) -> ExperimentSetup:
+    """Build the paper-standard setup on a topology at a bandwidth.
+
+    Speeds are calibrated at :data:`REFERENCE_BANDWIDTH` so that every task
+    takes exactly ``tau_m(B=64)`` time; running the experiment at
+    ``bandwidth=128`` then yields the paper's ``tau_m/tau_c = 0.5`` case
+    with identical task times.
+    """
+    speeds = speeds_for_ratio(tfg, REFERENCE_BANDWIDTH, ratio=1.0)
+    timing = TFGTiming(tfg, bandwidth, speeds)
+    placed = dict(allocation) if allocation is not None else allocator(tfg, topology)
+    return ExperimentSetup(
+        tfg=tfg,
+        topology=topology,
+        timing=timing,
+        allocation=placed,
+    )

@@ -1,0 +1,29 @@
+"""Task-to-node allocation.
+
+The paper treats allocation as an input ("locations of the sources and
+destinations of messages ... are fixed by task allocation") and notes that
+coupling it with path assignment is future work.  This package provides
+deterministic, seedable allocators and allocation-quality measures so
+experiments can pin an allocation and reproduce exactly.
+"""
+
+from repro.mapping.allocation import (
+    Allocation,
+    bfs_allocation,
+    communication_cost,
+    random_allocation,
+    sequential_allocation,
+    validate_allocation,
+)
+from repro.mapping.annealing import annealed_allocation, placement_congestion
+
+__all__ = [
+    "Allocation",
+    "annealed_allocation",
+    "bfs_allocation",
+    "communication_cost",
+    "placement_congestion",
+    "random_allocation",
+    "sequential_allocation",
+    "validate_allocation",
+]

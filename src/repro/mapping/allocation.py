@@ -1,0 +1,123 @@
+"""Allocators mapping TFG tasks onto multicomputer nodes.
+
+An allocation is a plain ``dict[str, int]`` (task name -> node id).  All
+allocators here place at most one task per node — the configuration the
+paper's evaluation uses (one application processor per task; "all tasks
+are assumed to take the same time") — but the simulators accept shared
+nodes, serializing tasks on the node's application processor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.errors import AllocationError
+from repro.tfg.graph import TaskFlowGraph
+from repro.topology.base import Topology
+
+Allocation = dict[str, int]
+"""Task name -> node id."""
+
+
+def validate_allocation(
+    tfg: TaskFlowGraph,
+    topology: Topology,
+    allocation: Mapping[str, int],
+    exclusive: bool = True,
+) -> None:
+    """Raise :class:`~repro.errors.AllocationError` unless every task is
+    placed on a valid node (and, with ``exclusive``, no node is shared)."""
+    missing = [t.name for t in tfg.tasks if t.name not in allocation]
+    if missing:
+        raise AllocationError(f"tasks not allocated: {missing}")
+    unknown = sorted(set(allocation) - {t.name for t in tfg.tasks})
+    if unknown:
+        raise AllocationError(f"allocation references unknown tasks: {unknown}")
+    for name, node in allocation.items():
+        if not 0 <= node < topology.num_nodes:
+            raise AllocationError(
+                f"task {name!r} placed on node {node}, but {topology.name} "
+                f"has {topology.num_nodes} nodes"
+            )
+    if exclusive:
+        by_node: dict[int, list[str]] = {}
+        for name, node in allocation.items():
+            by_node.setdefault(node, []).append(name)
+        shared = {n: sorted(ts) for n, ts in by_node.items() if len(ts) > 1}
+        if shared:
+            raise AllocationError(f"nodes shared by several tasks: {shared}")
+
+
+def _require_capacity(tfg: TaskFlowGraph, topology: Topology) -> None:
+    if tfg.num_tasks > topology.num_nodes:
+        raise AllocationError(
+            f"{tfg.num_tasks} tasks do not fit on {topology.name} "
+            f"({topology.num_nodes} nodes) with one task per node"
+        )
+
+
+def sequential_allocation(tfg: TaskFlowGraph, topology: Topology) -> Allocation:
+    """Tasks in topological order onto nodes ``0, 1, 2, ...``.
+
+    Fully deterministic; the default allocation for the figure benches.
+    """
+    _require_capacity(tfg, topology)
+    return {name: node for node, name in enumerate(tfg.topological_order())}
+
+
+def random_allocation(
+    tfg: TaskFlowGraph,
+    topology: Topology,
+    seed: int,
+) -> Allocation:
+    """A seeded random one-task-per-node placement."""
+    _require_capacity(tfg, topology)
+    rng = random.Random(seed)
+    nodes = rng.sample(range(topology.num_nodes), tfg.num_tasks)
+    return dict(zip(tfg.topological_order(), nodes))
+
+
+def bfs_allocation(tfg: TaskFlowGraph, topology: Topology) -> Allocation:
+    """Greedy locality-aware placement.
+
+    Tasks are placed in topological order; each task takes the free node
+    minimizing the total hop-distance to its already-placed predecessors
+    (ties broken by lowest node id, so the result is deterministic).
+    Communicating tasks end up near each other, shortening paths and
+    easing both wormhole contention and scheduled-routing utilisation.
+    """
+    _require_capacity(tfg, topology)
+    allocation: Allocation = {}
+    free = set(range(topology.num_nodes))
+    for name in tfg.topological_order():
+        predecessors = [
+            allocation[m.src] for m in tfg.messages_in(name) if m.src in allocation
+        ]
+        if not predecessors:
+            node = min(free)
+        else:
+            node = min(
+                free,
+                key=lambda n: (
+                    sum(topology.distance(p, n) for p in predecessors),
+                    n,
+                ),
+            )
+        allocation[name] = node
+        free.remove(node)
+    return allocation
+
+
+def communication_cost(
+    tfg: TaskFlowGraph,
+    topology: Topology,
+    allocation: Mapping[str, int],
+) -> float:
+    """Sum over messages of ``size_bytes * hop distance`` — a standard
+    allocation-quality figure for comparing placements."""
+    validate_allocation(tfg, topology, allocation, exclusive=False)
+    return sum(
+        m.size_bytes * topology.distance(allocation[m.src], allocation[m.dst])
+        for m in tfg.messages
+    )

@@ -1,0 +1,30 @@
+"""Performance metrics in the paper's normalized terms (Section 6).
+
+- **normalized load** = tau_c / tau_in (1.0 = fastest feasible input rate),
+- **normalized throughput** = tau_in / tau_out, 1.0 when the machine keeps
+  up with the input rate,
+- **normalized latency** = lambda / Lambda, measured invocation latency
+  over the critical-path length,
+- **output inconsistency (OI)** = the output-generation-interval series is
+  not constant (paper Eq. 1 violated); figures show it as an up-down spike
+  whose extremes are the min/max of the series and whose middle is the
+  mean.
+"""
+
+from repro.metrics.series import (
+    SpikeStats,
+    has_output_inconsistency,
+    load_sweep,
+    normalized_latency_stats,
+    normalized_throughput_stats,
+    output_intervals,
+)
+
+__all__ = [
+    "SpikeStats",
+    "has_output_inconsistency",
+    "load_sweep",
+    "normalized_latency_stats",
+    "normalized_throughput_stats",
+    "output_intervals",
+]

@@ -1,0 +1,73 @@
+"""Jitter metrics for real-time output streams.
+
+Output inconsistency is a boolean; real-time engineering wants the
+magnitude.  These are the standard figures for a periodic stream whose
+ideal inter-output interval is ``tau_in``:
+
+- **peak-to-peak jitter**: max interval minus min interval,
+- **RMS jitter**: root-mean-square deviation of intervals from ``tau_in``,
+- **worst lateness**: how far any single output slipped past its ideal
+  emission instant (ideal = first measured output + k * tau_in).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class JitterReport:
+    """Magnitude of output-timing irregularity for one run."""
+
+    tau_in: float
+    peak_to_peak: float
+    rms: float
+    worst_lateness: float
+
+    @property
+    def peak_to_peak_normalized(self) -> float:
+        """Peak-to-peak jitter as a fraction of the period."""
+        return self.peak_to_peak / self.tau_in
+
+    @property
+    def is_jitter_free(self) -> bool:
+        """True for a perfectly periodic output stream."""
+        return self.peak_to_peak <= 1e-9 and self.worst_lateness <= 1e-9
+
+
+def jitter_report(
+    completion_times: Sequence[float],
+    tau_in: float,
+) -> JitterReport:
+    """Compute jitter figures from a completion-time series.
+
+    ``completion_times`` should already exclude warm-up; the first
+    measured completion anchors the ideal grid.
+    """
+    if len(completion_times) < 3:
+        raise ValueError(
+            f"need at least 3 completions to measure jitter, got "
+            f"{len(completion_times)}"
+        )
+    if tau_in <= 0:
+        raise ValueError(f"tau_in must be positive, got {tau_in}")
+    intervals = [
+        b - a for a, b in zip(completion_times, completion_times[1:])
+    ]
+    peak_to_peak = max(intervals) - min(intervals)
+    rms = math.sqrt(
+        sum((delta - tau_in) ** 2 for delta in intervals) / len(intervals)
+    )
+    anchor = completion_times[0]
+    worst_lateness = max(
+        completion - (anchor + k * tau_in)
+        for k, completion in enumerate(completion_times)
+    )
+    return JitterReport(
+        tau_in=tau_in,
+        peak_to_peak=peak_to_peak,
+        rms=rms,
+        worst_lateness=max(worst_lateness, 0.0),
+    )

@@ -1,0 +1,10 @@
+"""Plain-text reporting of experiment series.
+
+The benchmark harness regenerates each of the paper's figures as a printed
+table: one row per load point, one column per plotted series.  This
+package owns the formatting so that benches stay thin.
+"""
+
+from repro.report.tables import format_table, format_spike
+
+__all__ = ["format_spike", "format_table"]

@@ -1,0 +1,50 @@
+"""ASCII table formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.metrics.series import SpikeStats
+
+
+def format_spike(stats: SpikeStats, digits: int = 3) -> str:
+    """Render a spike as ``min/mean/max`` (collapses when constant)."""
+    if stats.is_constant(10 ** -digits):
+        return f"{stats.mean:.{digits}f}"
+    return (
+        f"{stats.minimum:.{digits}f}/{stats.mean:.{digits}f}/"
+        f"{stats.maximum:.{digits}f}"
+    )
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width table with a rule under the header.
+
+    >>> print(format_table(("a", "b"), [(1, "x"), (22, "yy")]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    def render(line: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    body = [render(cells[0]), rule] + [render(line) for line in cells[1:]]
+    if title:
+        body.insert(0, title)
+    return "\n".join(body)

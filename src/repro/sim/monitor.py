@@ -1,0 +1,60 @@
+"""Timestamped series recording for simulations."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class Monitor:
+    """Append-only record of ``(time, value)`` observations.
+
+    Simulators use monitors to record per-invocation completion times and
+    link occupancy; the metrics layer turns them into the throughput and
+    latency series the paper's figures plot.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[Any] = []
+
+    def record(self, time: float, value: Any) -> None:
+        """Append one observation.  Times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"monitor {self.name!r}: time went backwards "
+                f"({time} < {self._times[-1]})"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> list[float]:
+        """Observation timestamps (copy)."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[Any]:
+        """Observation values (copy)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(zip(self._times, self._values))
+
+    def last(self) -> tuple[float, Any]:
+        """The most recent observation."""
+        if not self._times:
+            raise IndexError(f"monitor {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def intervals(self) -> list[float]:
+        """Differences between successive observation times.
+
+        For a monitor recording output-task completions, this is exactly
+        the output-generation-interval series whose constancy defines
+        freedom from output inconsistency (paper Eq. 1).
+        """
+        return [b - a for a, b in zip(self._times, self._times[1:])]

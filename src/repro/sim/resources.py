@@ -1,0 +1,135 @@
+"""FCFS resources and FIFO stores for the kernel.
+
+:class:`Resource` models anything with finite simultaneous capacity and a
+first-come-first-served wait queue — in this library, a network link under
+wormhole routing ("its flow-control hardware resolves contention using a
+first-come-first-served policy", paper Section 3) or an application
+processor executing one task at a time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    The request event fires when the resource grants the claim.  Use as::
+
+        req = link.request(owner=msg)
+        yield req
+        ...                      # holding the resource
+        link.release(req)
+    """
+
+    def __init__(self, resource: "Resource", owner: Any = None):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.owner = owner
+        self.request_time = resource.env.now
+        self.grant_time: float | None = None
+
+
+class Resource:
+    """A capacity-limited resource with an FCFS wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._holders: list[Request] = []
+        self._queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted, unreleased requests."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting to be granted."""
+        return len(self._queue)
+
+    @property
+    def holders(self) -> tuple[Request, ...]:
+        """Snapshot of the currently granted requests."""
+        return tuple(self._holders)
+
+    def request(self, owner: Any = None) -> Request:
+        """Claim one unit of capacity; the returned event fires on grant."""
+        req = Request(self, owner=owner)
+        if self.count < self.capacity and not self._queue:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted request and grant the next waiter."""
+        try:
+            self._holders.remove(request)
+        except ValueError:
+            raise SimulationError(
+                f"release of a request not holding {self.name or 'resource'}"
+            ) from None
+        while self._queue and self.count < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise SimulationError("cancel of a request that is not queued") from None
+
+    def _grant(self, req: Request) -> None:
+        self._holders.append(req)
+        req.grant_time = self.env.now
+        req.succeed(req)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"Resource@{id(self):#x}"
+        return f"<{label} {self.count}/{self.capacity} queued={self.queue_length}>"
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    Used for message mailboxes: producers ``put`` items, consumers ``yield
+    store.get()`` and resume when an item is available.
+    """
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

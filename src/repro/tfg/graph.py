@@ -1,0 +1,236 @@
+"""Task-flow graph data model.
+
+``TFG = {ST, SM}``: a set of tasks, each with an operation count, and a set
+of messages, each with a byte size, a source task and a destination task
+(paper Section 2).  Identical payloads to different destinations are
+distinct messages.  A task sends its messages at the *end* of its
+execution, and cannot start before every incoming message has arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import TFGError
+
+
+@dataclass(frozen=True)
+class Task:
+    """A sequential task: ``ops`` operations executed on one processor."""
+
+    name: str
+    ops: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TFGError("task name must be non-empty")
+        if self.ops <= 0:
+            raise TFGError(f"task {self.name!r}: ops must be positive, got {self.ops}")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message of ``size_bytes`` from task ``src`` to task ``dst``."""
+
+    name: str
+    src: str
+    dst: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TFGError("message name must be non-empty")
+        if self.src == self.dst:
+            raise TFGError(f"message {self.name!r}: src and dst are both {self.src!r}")
+        if self.size_bytes <= 0:
+            raise TFGError(
+                f"message {self.name!r}: size must be positive, got {self.size_bytes}"
+            )
+
+
+class TaskFlowGraph:
+    """A validated directed acyclic graph of tasks and messages.
+
+    Tasks and messages are registered with :meth:`add_task` /
+    :meth:`add_message`; :meth:`validate` (called lazily by the analysis
+    layer) checks acyclicity and referential integrity.  Iteration orders
+    are insertion orders, so graph construction is deterministic.
+    """
+
+    def __init__(self, name: str = "tfg"):
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._messages: dict[str, Message] = {}
+        self._out: dict[str, list[str]] = {}
+        self._in: dict[str, list[str]] = {}
+        self._topo_cache: tuple[str, ...] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_task(self, name: str, ops: float) -> Task:
+        """Register a task; names must be unique."""
+        if name in self._tasks:
+            raise TFGError(f"duplicate task {name!r}")
+        task = Task(name, float(ops))
+        self._tasks[name] = task
+        self._out[name] = []
+        self._in[name] = []
+        self._topo_cache = None
+        return task
+
+    def add_message(self, name: str, src: str, dst: str, size_bytes: float) -> Message:
+        """Register a message between two existing tasks."""
+        if name in self._messages:
+            raise TFGError(f"duplicate message {name!r}")
+        for endpoint in (src, dst):
+            if endpoint not in self._tasks:
+                raise TFGError(
+                    f"message {name!r} references unknown task {endpoint!r}"
+                )
+        message = Message(name, src, dst, float(size_bytes))
+        self._messages[name] = message
+        self._out[src].append(name)
+        self._in[dst].append(name)
+        self._topo_cache = None
+        return message
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """All tasks in insertion order."""
+        return tuple(self._tasks.values())
+
+    @property
+    def messages(self) -> tuple[Message, ...]:
+        """All messages in insertion order."""
+        return tuple(self._messages.values())
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_messages(self) -> int:
+        return len(self._messages)
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise TFGError(f"unknown task {name!r}") from None
+
+    def message(self, name: str) -> Message:
+        """Look up a message by name."""
+        try:
+            return self._messages[name]
+        except KeyError:
+            raise TFGError(f"unknown message {name!r}") from None
+
+    def messages_out(self, task_name: str) -> tuple[Message, ...]:
+        """Messages sent by a task (at the end of its execution)."""
+        self.task(task_name)
+        return tuple(self._messages[m] for m in self._out[task_name])
+
+    def messages_in(self, task_name: str) -> tuple[Message, ...]:
+        """Messages a task must receive before it can start."""
+        self.task(task_name)
+        return tuple(self._messages[m] for m in self._in[task_name])
+
+    def predecessors(self, task_name: str) -> tuple[Task, ...]:
+        """Immediate predecessor tasks."""
+        return tuple(self._tasks[m.src] for m in self.messages_in(task_name))
+
+    def successors(self, task_name: str) -> tuple[Task, ...]:
+        """Immediate successor tasks."""
+        return tuple(self._tasks[m.dst] for m in self.messages_out(task_name))
+
+    @property
+    def input_tasks(self) -> tuple[Task, ...]:
+        """Tasks with no predecessors; they start on input arrival."""
+        return tuple(t for t in self.tasks if not self._in[t.name])
+
+    @property
+    def output_tasks(self) -> tuple[Task, ...]:
+        """Tasks with no successors; their completion ends an invocation."""
+        return tuple(t for t in self.tasks if not self._out[t.name])
+
+    # -- structure ------------------------------------------------------------
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Task names in a deterministic topological order.
+
+        Raises :class:`~repro.errors.TFGError` if the graph has a cycle.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        in_degree = {name: len(edges) for name, edges in self._in.items()}
+        ready = [name for name in self._tasks if in_degree[name] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for msg_name in self._out[name]:
+                dst = self._messages[msg_name].dst
+                in_degree[dst] -= 1
+                if in_degree[dst] == 0:
+                    ready.append(dst)
+        if len(order) != len(self._tasks):
+            stuck = sorted(n for n, d in in_degree.items() if d > 0)
+            raise TFGError(f"TFG {self.name!r} has a cycle through {stuck}")
+        self._topo_cache = tuple(order)
+        return self._topo_cache
+
+    def validate(self) -> None:
+        """Check global invariants: acyclic, non-empty, has inputs/outputs."""
+        if not self._tasks:
+            raise TFGError(f"TFG {self.name!r} has no tasks")
+        self.topological_order()
+        if not self.input_tasks:  # pragma: no cover - implied by acyclicity
+            raise TFGError(f"TFG {self.name!r} has no input tasks")
+        if not self.output_tasks:  # pragma: no cover - implied by acyclicity
+            raise TFGError(f"TFG {self.name!r} has no output tasks")
+
+    def precedes(self, first: str, second: str) -> bool:
+        """True when there is a directed task path ``first -> second``."""
+        self.task(first)
+        self.task(second)
+        frontier = [first]
+        seen = {first}
+        while frontier:
+            name = frontier.pop()
+            for successor in self.successors(name):
+                if successor.name == second:
+                    return True
+                if successor.name not in seen:
+                    seen.add(successor.name)
+                    frontier.append(successor.name)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskFlowGraph {self.name!r}: {self.num_tasks} tasks, "
+            f"{self.num_messages} messages>"
+        )
+
+
+def build_tfg(
+    name: str,
+    tasks: Iterable[tuple[str, float]],
+    messages: Iterable[tuple[str, str, str, float]],
+) -> TaskFlowGraph:
+    """Convenience constructor from plain tuples.
+
+    >>> g = build_tfg("demo", [("a", 10), ("b", 20)], [("m", "a", "b", 64)])
+    >>> g.num_tasks, g.num_messages
+    (2, 1)
+    """
+    tfg = TaskFlowGraph(name)
+    for task_name, ops in tasks:
+        tfg.add_task(task_name, ops)
+    for msg_name, src, dst, size in messages:
+        tfg.add_message(msg_name, src, dst, size)
+    tfg.validate()
+    return tfg

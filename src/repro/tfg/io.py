@@ -1,0 +1,71 @@
+"""Dict/JSON serialization of task-flow graphs.
+
+The on-disk format is a plain dictionary so that workloads can be stored
+next to experiment configurations and diffed:
+
+.. code-block:: json
+
+    {
+      "name": "dvb-8",
+      "tasks": [{"name": "lowlevel", "ops": 1925.0}, ...],
+      "messages": [
+        {"name": "a", "src": "lowlevel", "dst": "extract", "size_bytes": 192.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import TFGError
+from repro.tfg.graph import TaskFlowGraph
+
+
+def tfg_to_dict(tfg: TaskFlowGraph) -> dict[str, Any]:
+    """Serialize a TFG to a plain dictionary (stable ordering)."""
+    return {
+        "name": tfg.name,
+        "tasks": [{"name": t.name, "ops": t.ops} for t in tfg.tasks],
+        "messages": [
+            {
+                "name": m.name,
+                "src": m.src,
+                "dst": m.dst,
+                "size_bytes": m.size_bytes,
+            }
+            for m in tfg.messages
+        ],
+    }
+
+
+def tfg_from_dict(data: dict[str, Any]) -> TaskFlowGraph:
+    """Rebuild a TFG from :func:`tfg_to_dict` output, re-validating it."""
+    try:
+        tfg = TaskFlowGraph(data["name"])
+        for task in data["tasks"]:
+            tfg.add_task(task["name"], task["ops"])
+        for message in data["messages"]:
+            tfg.add_message(
+                message["name"],
+                message["src"],
+                message["dst"],
+                message["size_bytes"],
+            )
+    except KeyError as exc:
+        raise TFGError(f"malformed TFG dictionary: missing key {exc}") from exc
+    tfg.validate()
+    return tfg
+
+
+def save_tfg(tfg: TaskFlowGraph, path: str | Path) -> None:
+    """Write a TFG to a JSON file."""
+    Path(path).write_text(json.dumps(tfg_to_dict(tfg), indent=2))
+
+
+def load_tfg(path: str | Path) -> TaskFlowGraph:
+    """Read a TFG from a JSON file written by :func:`save_tfg`."""
+    return tfg_from_dict(json.loads(Path(path).read_text()))

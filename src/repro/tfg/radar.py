@@ -1,0 +1,67 @@
+"""A radar signal-processing pipeline workload.
+
+The paper motivates task-level pipelining with periodic real-time
+processing; artificial vision (the DVB) is its example.  This module adds
+a second workload from the same domain family — the classic radar
+processing chain — used by tests, an example, and ablations to check that
+nothing in the library is DVB-specific:
+
+::
+
+    adc --> beamform_c --> pulse_c --> doppler_c --.          (per channel c)
+                                                    +--> cfar --> track
+    adc ------------------------------> clutter ---'
+
+Operation counts and message sizes are synthetic but sized like real
+corner-turn traffic: the per-channel range/doppler matrices dominate
+(2048-byte messages), detection lists are small (256 bytes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TFGError
+from repro.tfg.graph import TaskFlowGraph
+
+ADC_OPS = 800.0
+CHANNEL_OPS = 600.0
+FUSION_OPS = 900.0
+TRACK_OPS = 500.0
+
+SAMPLE_BLOCK = 1024.0     # adc -> beamformer, per channel
+MATRIX_BLOCK = 2048.0     # corner-turn matrices along the channel chain
+CLUTTER_MAP = 1536.0      # adc -> clutter estimator
+DETECTION_LIST = 256.0    # cfar -> tracker
+
+
+def radar_tfg(n_channels: int = 4) -> TaskFlowGraph:
+    """The radar chain for ``n_channels`` receive channels.
+
+    ``4 + 3n`` tasks and ``3 + 4n`` messages.
+
+    >>> g = radar_tfg(4)
+    >>> g.num_tasks, g.num_messages
+    (16, 19)
+    >>> [t.name for t in g.input_tasks], [t.name for t in g.output_tasks]
+    (['adc'], ['track'])
+    """
+    if n_channels < 1:
+        raise TFGError(f"radar needs at least one channel, got {n_channels}")
+    tfg = TaskFlowGraph(name=f"radar-{n_channels}")
+    tfg.add_task("adc", ADC_OPS)
+    tfg.add_task("clutter", CHANNEL_OPS)
+    tfg.add_message("cl_in", "adc", "clutter", CLUTTER_MAP)
+    for c in range(n_channels):
+        tfg.add_task(f"beam{c}", CHANNEL_OPS)
+        tfg.add_task(f"pulse{c}", CHANNEL_OPS)
+        tfg.add_task(f"doppler{c}", CHANNEL_OPS)
+        tfg.add_message(f"s{c}", "adc", f"beam{c}", SAMPLE_BLOCK)
+        tfg.add_message(f"p{c}", f"beam{c}", f"pulse{c}", MATRIX_BLOCK)
+        tfg.add_message(f"d{c}", f"pulse{c}", f"doppler{c}", MATRIX_BLOCK)
+    tfg.add_task("cfar", FUSION_OPS)
+    tfg.add_task("track", TRACK_OPS)
+    for c in range(n_channels):
+        tfg.add_message(f"m{c}", f"doppler{c}", "cfar", MATRIX_BLOCK)
+    tfg.add_message("cl_out", "clutter", "cfar", CLUTTER_MAP)
+    tfg.add_message("det", "cfar", "track", DETECTION_LIST)
+    tfg.validate()
+    return tfg

@@ -1,0 +1,116 @@
+"""Seeded random layered task-flow graphs.
+
+Used by the test suite (hypothesis strategies wrap this) and by ablation
+benches to exercise the compiler on workloads other than the DVB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TFGError
+from repro.tfg.graph import TaskFlowGraph
+
+
+def random_layered_tfg(
+    seed: int,
+    layers: int = 4,
+    width: int = 4,
+    edge_probability: float = 0.5,
+    ops_range: tuple[float, float] = (100.0, 2000.0),
+    size_range: tuple[float, float] = (128.0, 3200.0),
+    name: str | None = None,
+) -> TaskFlowGraph:
+    """A random DAG organised in layers with forward edges only.
+
+    Every non-input task is guaranteed at least one incoming message and
+    every non-output task at least one outgoing message, so the graph has
+    no isolated stages and pipelining is well defined.
+
+    >>> g = random_layered_tfg(seed=7, layers=3, width=2)
+    >>> g.validate()
+    >>> all(g.messages_in(t.name) for t in g.tasks if t not in g.input_tasks)
+    True
+    """
+    if layers < 2:
+        raise TFGError(f"need at least 2 layers, got {layers}")
+    if width < 1:
+        raise TFGError(f"need width >= 1, got {width}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise TFGError(f"edge probability out of [0,1]: {edge_probability}")
+    rng = random.Random(seed)
+    tfg = TaskFlowGraph(name or f"synth-{seed}")
+
+    grid: list[list[str]] = []
+    for layer in range(layers):
+        row = []
+        for slot in range(width):
+            task_name = f"t{layer}_{slot}"
+            tfg.add_task(task_name, rng.uniform(*ops_range))
+            row.append(task_name)
+        grid.append(row)
+
+    msg_index = 0
+
+    def connect(src: str, dst: str) -> None:
+        nonlocal msg_index
+        tfg.add_message(f"m{msg_index}", src, dst, rng.uniform(*size_range))
+        msg_index += 1
+
+    for layer in range(1, layers):
+        for dst in grid[layer]:
+            sources = [s for s in grid[layer - 1] if rng.random() < edge_probability]
+            if not sources:
+                sources = [rng.choice(grid[layer - 1])]
+            for src in sources:
+                connect(src, dst)
+    # Guarantee every non-output task feeds something downstream.
+    for layer in range(layers - 1):
+        for src in grid[layer]:
+            if not tfg.messages_out(src):
+                connect(src, rng.choice(grid[layer + 1]))
+
+    tfg.validate()
+    return tfg
+
+
+def chain_tfg(
+    num_tasks: int,
+    ops: float = 400.0,
+    size_bytes: float = 1024.0,
+    name: str = "chain",
+) -> TaskFlowGraph:
+    """A simple linear pipeline ``t0 -> t1 -> ... -> t(n-1)``.
+
+    The smallest TFG family that pipelines non-trivially; used widely in
+    unit tests and as the substrate of the Section-3 OI construction.
+    """
+    if num_tasks < 1:
+        raise TFGError(f"need at least one task, got {num_tasks}")
+    tfg = TaskFlowGraph(name)
+    for i in range(num_tasks):
+        tfg.add_task(f"t{i}", ops)
+    for i in range(num_tasks - 1):
+        tfg.add_message(f"m{i}", f"t{i}", f"t{i + 1}", size_bytes)
+    tfg.validate()
+    return tfg
+
+
+def fan_tfg(
+    fan: int,
+    ops: float = 400.0,
+    size_bytes: float = 1024.0,
+    name: str = "fan",
+) -> TaskFlowGraph:
+    """Fan-out/fan-in: one source, ``fan`` parallel stages, one sink."""
+    if fan < 1:
+        raise TFGError(f"need fan >= 1, got {fan}")
+    tfg = TaskFlowGraph(name)
+    tfg.add_task("src", ops)
+    tfg.add_task("sink", ops)
+    for i in range(fan):
+        tfg.add_task(f"mid{i}", ops)
+        tfg.add_message(f"out{i}", "src", f"mid{i}", size_bytes)
+        tfg.add_message(f"in{i}", f"mid{i}", "sink", size_bytes)
+    tfg.validate()
+    return tfg

@@ -1,0 +1,124 @@
+"""Structure-preserving transformations of task-flow graphs.
+
+Partitioning — choosing the grain of parallelism — happens *before* the
+pipeline of the paper ("partitioning techniques attempt to minimize the
+communication overhead", Section 1).  These transforms let experiments
+explore that axis on the same workloads:
+
+- :func:`merge_tasks` — fuse two tasks into one (their connecting
+  messages become local and disappear),
+- :func:`merge_linear_chains` — coarsen every single-in/single-out chain,
+  the classic granularity knob,
+- :func:`scale_message_sizes` — scale the communication volume,
+- :func:`level_decomposition` — ASAP levels, for allocation heuristics.
+
+All transforms return new graphs; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TFGError
+from repro.tfg.graph import TaskFlowGraph
+
+
+def merge_tasks(
+    tfg: TaskFlowGraph,
+    first: str,
+    second: str,
+    merged_name: str | None = None,
+) -> TaskFlowGraph:
+    """Fuse ``second`` into ``first``.
+
+    The merged task's operation count is the sum; messages between the
+    two disappear (they become memory traffic inside one node); all other
+    endpoints are redirected.  Raises :class:`~repro.errors.TFGError` if
+    the fusion would create a cycle (i.e. another path connects the two
+    tasks around the direct edge).
+    """
+    task_a = tfg.task(first)
+    task_b = tfg.task(second)
+    if first == second:
+        raise TFGError(f"cannot merge {first!r} with itself")
+    name = merged_name or first
+    result = TaskFlowGraph(name=f"{tfg.name}+merge")
+    for task in tfg.tasks:
+        if task.name == first:
+            result.add_task(name, task_a.ops + task_b.ops)
+        elif task.name != second:
+            result.add_task(task.name, task.ops)
+
+    def redirect(endpoint: str) -> str:
+        return name if endpoint in (first, second) else endpoint
+
+    for message in tfg.messages:
+        src = redirect(message.src)
+        dst = redirect(message.dst)
+        if src == dst:
+            continue  # now internal to the merged task
+        result.add_message(message.name, src, dst, message.size_bytes)
+    try:
+        result.validate()
+    except TFGError as error:
+        raise TFGError(
+            f"merging {first!r} and {second!r} creates a cycle: {error}"
+        ) from error
+    return result
+
+
+def merge_linear_chains(tfg: TaskFlowGraph) -> TaskFlowGraph:
+    """Coarsen every maximal linear chain into a single task.
+
+    A chain link is a message whose source has exactly one successor and
+    whose destination has exactly one predecessor — fusing across it
+    removes communication without reducing parallelism.  Chains are
+    collapsed repeatedly until none remain.
+    """
+    current = tfg
+    while True:
+        fusable = None
+        for message in current.messages:
+            if (
+                len(current.messages_out(message.src)) == 1
+                and len(current.messages_in(message.dst)) == 1
+            ):
+                fusable = message
+                break
+        if fusable is None:
+            return current
+        current = merge_tasks(current, fusable.src, fusable.dst)
+
+
+def scale_message_sizes(tfg: TaskFlowGraph, factor: float) -> TaskFlowGraph:
+    """A copy of the graph with every message size scaled by ``factor``."""
+    if factor <= 0:
+        raise TFGError(f"scale factor must be positive, got {factor}")
+    result = TaskFlowGraph(name=f"{tfg.name}x{factor:g}")
+    for task in tfg.tasks:
+        result.add_task(task.name, task.ops)
+    for message in tfg.messages:
+        result.add_message(
+            message.name, message.src, message.dst,
+            message.size_bytes * factor,
+        )
+    result.validate()
+    return result
+
+
+def level_decomposition(tfg: TaskFlowGraph) -> list[tuple[str, ...]]:
+    """Tasks grouped by ASAP level (level 0 = input tasks).
+
+    Levels are a cheap allocation hint: tasks in one level never
+    communicate with each other and run concurrently in the pipeline.
+    """
+    level: dict[str, int] = {}
+    for name in tfg.topological_order():
+        incoming = tfg.messages_in(name)
+        level[name] = (
+            0 if not incoming
+            else 1 + max(level[m.src] for m in incoming)
+        )
+    depth = max(level.values(), default=0)
+    groups: list[list[str]] = [[] for _ in range(depth + 1)]
+    for name in tfg.topological_order():
+        groups[level[name]].append(name)
+    return [tuple(group) for group in groups]

@@ -1,0 +1,17 @@
+"""Binary hypercube convenience constructor."""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.ghc import GeneralizedHypercube
+
+
+def binary_hypercube(dimensions: int) -> GeneralizedHypercube:
+    """The binary ``dimensions``-cube, i.e. GHC(2, 2, ..., 2).
+
+    >>> binary_hypercube(6).num_nodes
+    64
+    """
+    if dimensions < 1:
+        raise TopologyError(f"hypercube needs >= 1 dimension, got {dimensions}")
+    return GeneralizedHypercube((2,) * dimensions)

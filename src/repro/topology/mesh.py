@@ -1,0 +1,62 @@
+"""Open (non-wraparound) meshes.
+
+Not part of the paper's evaluation, but a natural member of the family:
+with only one minimal direction per dimension a mesh has even fewer
+alternative paths than a torus, which makes it a useful stress case for
+path assignment in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Topology
+
+
+class Mesh(Topology):
+    """Open mesh with the given per-dimension radices (LSD first).
+
+    >>> Mesh((4, 4)).degree(0)   # a corner node
+    2
+    >>> Mesh((4, 4)).num_links
+    24
+    """
+
+    def __init__(self, radices: Sequence[int]):
+        label = "Mesh(" + "x".join(str(r) for r in radices) + ")"
+        super().__init__(radices, name=label)
+        self._neighbor_cache: dict[int, tuple[int, ...]] = {}
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        self._check_node(node)
+        digits = list(self.address(node))
+        result: list[int] = []
+        for dim, radix in enumerate(self.radices):
+            original = digits[dim]
+            for step in (1, -1):
+                digit = original + step
+                if not 0 <= digit < radix:
+                    continue
+                digits[dim] = digit
+                result.append(self.node_at(digits))
+            digits[dim] = original
+        out = tuple(result)
+        self._neighbor_cache[node] = out
+        return out
+
+    def distance(self, u: int, v: int) -> int:
+        """Manhattan distance over digit vectors."""
+        a = self.address(u)
+        b = self.address(v)
+        return sum(abs(x - y) for x, y in zip(a, b))
+
+    def dimension_steps(self, src_digit: int, dst_digit: int, dim: int) -> list[list[int]]:
+        """The single unit-step walk toward the target digit."""
+        if src_digit == dst_digit:
+            return [[]]
+        step = 1 if dst_digit > src_digit else -1
+        walk = list(range(src_digit + step, dst_digit + step, step))
+        return [walk]

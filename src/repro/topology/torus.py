@@ -1,0 +1,101 @@
+"""k-ary n-dimensional tori (wraparound meshes).
+
+Nodes are adjacent when their addresses differ by +-1 (mod radix) in
+exactly one dimension.  Per dimension the minimal move is the shorter way
+around the ring; when the offset is exactly half the (even) radix, both
+directions are minimal and path enumeration explores both.  Tori have far
+fewer minimal paths than generalized hypercubes — the paper traces their
+higher peak utilisation (Fig. 6) to exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Topology
+
+
+def ring_offsets(src_digit: int, dst_digit: int, radix: int) -> list[int]:
+    """Signed minimal offsets moving ``src_digit -> dst_digit`` on a ring.
+
+    Returns one offset normally, two (``+d`` and ``-d``) on an exact
+    half-ring tie, and ``[0]`` when the digits already match.
+    """
+    if src_digit == dst_digit:
+        return [0]
+    forward = (dst_digit - src_digit) % radix
+    backward = forward - radix
+    if forward * 2 < radix:
+        return [forward]
+    if forward * 2 > radix:
+        return [backward]
+    return [forward, backward]  # half-ring tie: both directions minimal
+
+
+class Torus(Topology):
+    """Torus with the given per-dimension radices (LSD first).
+
+    Examples
+    --------
+    >>> t = Torus((8, 8))
+    >>> t.num_nodes, t.degree(0), t.num_links
+    (64, 4, 128)
+    >>> Torus((4, 4, 4)).num_links
+    192
+    """
+
+    def __init__(self, radices: Sequence[int]):
+        label = "Torus(" + "x".join(str(r) for r in radices) + ")"
+        super().__init__(radices, name=label)
+        self._neighbor_cache: dict[int, tuple[int, ...]] = {}
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        cached = self._neighbor_cache.get(node)
+        if cached is not None:
+            return cached
+        self._check_node(node)
+        digits = list(self.address(node))
+        result: list[int] = []
+        for dim, radix in enumerate(self.radices):
+            original = digits[dim]
+            for step in (1, -1):
+                digit = (original + step) % radix
+                if digit == original:  # radix-2 ring: +1 and -1 coincide
+                    continue
+                digits[dim] = digit
+                candidate = self.node_at(digits)
+                if candidate not in result:
+                    result.append(candidate)
+            digits[dim] = original
+        out = tuple(result)
+        self._neighbor_cache[node] = out
+        return out
+
+    def distance(self, u: int, v: int) -> int:
+        """Sum of per-dimension ring distances."""
+        a = self.address(u)
+        b = self.address(v)
+        total = 0
+        for x, y, radix in zip(a, b, self.radices):
+            forward = (y - x) % radix
+            total += min(forward, radix - forward)
+        return total
+
+    def dimension_steps(self, src_digit: int, dst_digit: int, dim: int) -> list[list[int]]:
+        """Unit-step digit walks for each minimal ring direction.
+
+        On a radix-2 ring the half-ring "tie" directions coincide (both
+        are the single opposite node), so duplicates are dropped.
+        """
+        radix = self.radices[dim]
+        alternatives: list[list[int]] = []
+        for offset in ring_offsets(src_digit, dst_digit, radix):
+            if offset == 0:
+                return [[]]
+            step = 1 if offset > 0 else -1
+            walk = [
+                (src_digit + step * k) % radix for k in range(1, abs(offset) + 1)
+            ]
+            if walk not in alternatives:
+                alternatives.append(walk)
+        return alternatives

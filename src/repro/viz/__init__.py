@@ -1,0 +1,16 @@
+"""Plain-text visualization of schedules and measurements.
+
+Terminal-friendly renderings used by the examples and handy in a REPL:
+
+- :func:`~repro.viz.gantt.node_gantt` — a Gantt chart of one node's
+  switching schedule over the frame,
+- :func:`~repro.viz.gantt.link_occupancy_chart` — per-link busy bars for
+  a communication schedule,
+- :func:`~repro.viz.sparkline.sparkline` — a unicode mini-plot of a
+  measured series (throughput/latency per invocation).
+"""
+
+from repro.viz.gantt import link_occupancy_chart, node_gantt
+from repro.viz.sparkline import series_panel, sparkline
+
+__all__ = ["link_occupancy_chart", "node_gantt", "series_panel", "sparkline"]

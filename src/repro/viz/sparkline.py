@@ -1,0 +1,45 @@
+"""Unicode sparklines for measured series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """A one-line unicode plot of a numeric series.
+
+    Values are scaled to the series' own min..max; a constant series
+    renders as a flat mid-height line — which is exactly what a
+    consistent pipelined run's output-interval series should look like.
+
+    >>> sparkline([1.0, 1.0, 1.0])
+    '▄▄▄'
+    >>> len(sparkline([0, 5, 10, 5, 0]))
+    5
+    """
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    if hi - lo < 1e-12:
+        return _BLOCKS[3] * len(series)
+    span = hi - lo
+    return "".join(
+        _BLOCKS[min(int((v - lo) / span * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1)]
+        for v in series
+    )
+
+
+def series_panel(title: str, series: Sequence[float], unit: str = "") -> str:
+    """A labeled sparkline with min/mean/max annotations."""
+    if not series:
+        return f"{title}: (empty)"
+    mean = sum(series) / len(series)
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{title}\n"
+        f"  {sparkline(series)}\n"
+        f"  min {min(series):.3f} / mean {mean:.3f} / "
+        f"max {max(series):.3f}{suffix} over {len(series)} samples"
+    )

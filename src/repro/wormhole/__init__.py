@@ -1,0 +1,29 @@
+"""Wormhole routing (WR) — the paper's baseline (Section 3).
+
+Wormhole routing is modelled exactly as in the paper's own evaluation:
+a message follows the deterministic LSD->MSD route, acquiring links hop by
+hop; contention on a link is resolved first-come-first-served; a blocked
+message keeps holding every link it has acquired; once the full path is
+set up the message transmits for ``m/B`` (transmission time dominates
+propagation) and then releases everything.
+
+Running a task-level pipelined TFG through this model exhibits **output
+inconsistency**: messages of different invocations contend, the winner
+alternates, and the output-generation interval oscillates — the behaviour
+scheduled routing is designed to eliminate.
+"""
+
+from repro.wormhole.adaptive import AdaptiveWormholeSimulator
+from repro.wormhole.analysis import OiRisk, predict_oi_risks
+from repro.wormhole.results import PipelineRunResult
+from repro.wormhole.simulator import WormholeSimulator
+from repro.wormhole.store_forward import StoreAndForwardSimulator
+
+__all__ = [
+    "AdaptiveWormholeSimulator",
+    "OiRisk",
+    "PipelineRunResult",
+    "StoreAndForwardSimulator",
+    "WormholeSimulator",
+    "predict_oi_risks",
+]

@@ -1,0 +1,33 @@
+"""Store-and-forward routing — the first-generation baseline.
+
+Before wormhole routing, multicomputers (iPSC/1-class machines) buffered
+each message entirely at every intermediate node and retransmitted it hop
+by hop.  Relative to wormhole routing:
+
+- **latency**: an uncontended D-hop message takes ``D * m/B`` instead of
+  ``~m/B`` — the distance sensitivity wormhole routing was invented to
+  remove;
+- **deadlock**: a store-and-forward flight holds exactly one link at a
+  time, so there is no hold-and-wait and no deadlock — including on the
+  half-duplex torus rings where wormhole routing must abort-and-retry
+  (assuming, as this model does, that intermediate buffers are ample;
+  the paper's SR pointedly "does not load the intermediate node memory");
+- **output inconsistency**: arbitration is still FCFS and still oblivious
+  to invocation structure, so the paper's Section 3 mechanism applies
+  unchanged — OI persists, which the ABL-SAF bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.wormhole.simulator import WormholeSimulator
+
+
+class StoreAndForwardSimulator(WormholeSimulator):
+    """Hop-at-a-time forwarding over the same FCFS half-duplex links.
+
+    Identical construction parameters and run protocol as
+    :class:`~repro.wormhole.simulator.WormholeSimulator`; only the flight
+    semantics change (one held link, one retransmission per hop).
+    """
+
+    hold_entire_path = False

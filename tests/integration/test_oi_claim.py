@@ -1,0 +1,91 @@
+"""Integration test of the paper's Section 3 claim.
+
+The claim: two messages M1, M2 with T1d preceding T2s, all four endpoint
+tasks on the critical path, whose assigned paths share a link, produce
+output inconsistency under wormhole routing when the input period puts
+M2 of invocation j and M1 of invocation j+1 in contention.
+
+We build the minimal witness — a three-task chain ``t0 -> t1 -> t2``
+allocated so that M1's deterministic LSD->MSD route (0 -> 1 -> 3) and
+M2's only route (3 -> 1) share link (1, 3) — and check:
+
+1. wormhole routing exhibits OI at a tight input period,
+2. scheduled routing at the *same* period compiles (AssignPaths moves M1
+   to the disjoint route 0 -> 2 -> 3) and delivers constant throughput.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_schedule
+from repro.core.executor import ScheduledRoutingExecutor
+from repro.errors import SchedulingError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.wormhole import WormholeSimulator
+
+
+@pytest.fixture()
+def claim_case(cube3):
+    tfg = build_tfg(
+        "claim3",
+        [("t0", 400), ("t1", 400), ("t2", 400)],
+        [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)  # 10us tasks, 10us messages
+    allocation = {"t0": 0, "t1": 3, "t2": 1}
+    return timing, cube3, allocation
+
+
+class TestClaim:
+    def test_wormhole_routes_share_a_link(self, claim_case):
+        timing, topo, allocation = claim_case
+        simulator = WormholeSimulator(timing, topo, allocation)
+        m1_links = set(
+            zip(simulator.route(0, 3), simulator.route(0, 3)[1:])
+        )
+        assert simulator.route(0, 3) == [0, 1, 3]
+        assert simulator.route(3, 1) == [3, 1]
+        assert (1, 3) in {tuple(sorted(l)) for l in m1_links}
+
+    def test_wormhole_shows_output_inconsistency(self, claim_case):
+        timing, topo, allocation = claim_case
+        simulator = WormholeSimulator(timing, topo, allocation)
+        result = simulator.run(tau_in=12.0, invocations=40, warmup=8)
+        assert result.has_oi()
+        stats = result.throughput_stats()
+        assert stats.minimum < 1.0 - 1e-6 or stats.maximum > 1.0 + 1e-6
+
+    def test_wormhole_consistent_when_invocations_do_not_interact(
+        self, claim_case
+    ):
+        """At a very large input period messages of different invocations
+        never contend (the paper: such periods 'are not interesting')."""
+        timing, topo, allocation = claim_case
+        simulator = WormholeSimulator(timing, topo, allocation)
+        result = simulator.run(tau_in=60.0, invocations=20, warmup=4)
+        assert not result.has_oi()
+
+    def test_scheduled_routing_removes_oi_at_same_period(self, claim_case):
+        timing, topo, allocation = claim_case
+        routing = compile_schedule(timing, topo, allocation, tau_in=12.0)
+        # The heuristic must have routed M1 off the shared link.
+        assert (1, 3) not in set(
+            routing.schedule.slots["M1"][0].links
+        )
+        executor = ScheduledRoutingExecutor(routing, timing, topo, allocation)
+        result = executor.run(invocations=40, warmup=8)
+        assert not result.has_oi()
+        assert result.throughput_stats().maximum == pytest.approx(1.0)
+
+    def test_lsd_assignment_is_unschedulable_here(self, claim_case):
+        """With path assignment pinned to the wormhole routes, the shared
+        link is genuinely over capacity — SR *needs* the alternative
+        paths, which is the paper's point about exploiting them."""
+        from repro.core.compiler import CompilerConfig
+
+        timing, topo, allocation = claim_case
+        with pytest.raises(SchedulingError):
+            compile_schedule(
+                timing, topo, allocation, 12.0,
+                CompilerConfig(use_assign_paths=False),
+            )

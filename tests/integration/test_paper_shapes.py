@@ -1,0 +1,86 @@
+"""Fast regression pins of the paper's qualitative shapes.
+
+The benchmark harness regenerates the full figures (~2 minutes); these
+tests pin the load-bearing subset of those claims in seconds so that any
+regression in the compiler or simulators that would change the paper's
+story fails the ordinary test run.
+"""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.errors import SchedulingError, UtilizationExceededError
+from repro.experiments import standard_setup
+from repro.tfg import dvb_tfg
+from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
+from repro.wormhole import WormholeSimulator
+
+CONFIG = CompilerConfig(seed=0, max_paths=48, max_restarts=4, retries=2)
+
+
+def compiles(setup, load):
+    try:
+        compile_schedule(
+            setup.timing, setup.topology, setup.allocation,
+            setup.tau_in_for_load(load), CONFIG,
+        )
+        return True
+    except SchedulingError:
+        return False
+
+
+@pytest.fixture(scope="module")
+def dvb():
+    return dvb_tfg(5)
+
+
+class TestFig7Shape:
+    def test_6cube_b64_feasible_only_at_light_load(self, dvb):
+        setup = standard_setup(dvb, binary_hypercube(6), 64.0)
+        assert compiles(setup, 0.2)
+        assert not compiles(setup, 0.6)
+        assert not compiles(setup, 1.0)
+
+    def test_6cube_b128_feasible_at_extremes(self, dvb):
+        setup = standard_setup(dvb, binary_hypercube(6), 128.0)
+        assert compiles(setup, 0.2)
+        assert compiles(setup, 1.0)
+
+    def test_6cube_b128_wr_oi_at_high_load(self, dvb):
+        setup = standard_setup(dvb, binary_hypercube(6), 128.0)
+        result = WormholeSimulator(
+            setup.timing, setup.topology, setup.allocation
+        ).run(setup.tau_in_for_load(0.84), invocations=36, warmup=8)
+        assert result.has_oi()
+
+
+class TestFig8Shape:
+    def test_ghc444_b64_beats_6cube(self, dvb):
+        setup = standard_setup(dvb, GeneralizedHypercube((4, 4, 4)), 64.0)
+        # Feasible deep into the sweep where the 6-cube long gave up...
+        assert compiles(setup, 0.6)
+        assert compiles(setup, 0.93)
+        # ...but not at the maximum rate (the paper's other exception).
+        assert not compiles(setup, 1.0)
+
+
+class TestFig6And9Shape:
+    def test_torus8x8_b64_utilization_bound_everywhere(self, dvb):
+        setup = standard_setup(dvb, Torus((8, 8)), 64.0)
+        for load in (0.2, 0.6, 1.0):
+            with pytest.raises(UtilizationExceededError):
+                compile_schedule(
+                    setup.timing, setup.topology, setup.allocation,
+                    setup.tau_in_for_load(load), CONFIG,
+                )
+
+    def test_torus8x8_b128_sparse_feasibility(self, dvb):
+        setup = standard_setup(dvb, Torus((8, 8)), 128.0)
+        assert compiles(setup, 0.2)
+        assert not compiles(setup, 1.0)
+
+
+class TestFig10Shape:
+    def test_torus444_b128_feasible_at_max_load(self, dvb):
+        setup = standard_setup(dvb, Torus((4, 4, 4)), 128.0)
+        assert compiles(setup, 1.0)

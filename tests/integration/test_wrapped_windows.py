@@ -1,0 +1,81 @@
+"""Integration tests of wrapped message windows end to end.
+
+At tight input periods the release of a downstream message wraps past
+the frame edge ([0, d] + [r, tau_in], paper Section 4).  These tests pin
+a configuration where wrapping provably occurs and check the whole
+pipeline — compiler, executor, serialization — handles it.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_schedule
+from repro.core.executor import ScheduledRoutingExecutor
+from repro.core.io import schedule_from_dict, schedule_to_dict
+from repro.core.timebounds import compute_time_bounds
+from repro.tfg import TFGTiming
+from repro.tfg.synth import chain_tfg
+
+
+@pytest.fixture()
+def wrapped_case(cube3):
+    """A 4-stage chain at tau_in = 25 with 10us stages and windows.
+
+    ASAP releases are at 10, 30, 50; modulo 25 the second message's
+    window [30, 40] wraps to [5, 15] and the third's [50, 60] to [0, 10],
+    so windows of different pipeline stages interleave on the frame.
+    """
+    timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+    allocation = {"t0": 0, "t1": 1, "t2": 3, "t3": 7}
+    return timing, cube3, allocation, 25.0
+
+
+class TestWrappedWindows:
+    def test_windows_wrap_as_expected(self, wrapped_case):
+        timing, topo, allocation, tau_in = wrapped_case
+        bounds = compute_time_bounds(timing, tau_in)
+        assert bounds.bounds["m0"].windows == ((10.0, 20.0),)
+        assert bounds.bounds["m1"].windows == ((5.0, 15.0),)
+        assert bounds.bounds["m2"].windows == ((0.0, 10.0),)
+
+    def test_compiles_and_replays(self, wrapped_case):
+        timing, topo, allocation, tau_in = wrapped_case
+        routing = compile_schedule(timing, topo, allocation, tau_in)
+        result = ScheduledRoutingExecutor(
+            routing, timing, topo, allocation
+        ).run(invocations=20, warmup=4)
+        assert not result.has_oi()
+        assert result.throughput_stats().mean == pytest.approx(1.0)
+
+    def test_absolute_slots_fall_in_own_invocation_window(self, wrapped_case):
+        timing, topo, allocation, tau_in = wrapped_case
+        routing = compile_schedule(timing, topo, allocation, tau_in)
+        executor = ScheduledRoutingExecutor(routing, timing, topo, allocation)
+        asap = timing.asap_schedule()
+        for name in routing.schedule.slots:
+            message = timing.tfg.message(name)
+            for j in range(3):
+                release = j * tau_in + asap[message.src][1]
+                for start, end in executor.absolute_slots(name, j):
+                    assert start >= release - 1e-9
+                    assert end <= release + timing.message_window + 1e-9
+
+    def test_truly_wrapping_window_with_split_segments(self, cube3):
+        """A window that straddles the frame edge produces two segments
+        and the compiler still covers the message's full duration."""
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3}
+        tau_in = 12.0  # release 10, window 10 -> [0,8] + [10,12]
+        bounds = compute_time_bounds(timing, tau_in)
+        assert len(bounds.bounds["m0"].windows) == 2
+        routing = compile_schedule(timing, cube3, allocation, tau_in)
+        total = sum(s.duration for s in routing.schedule.slots["m0"])
+        assert total == pytest.approx(10.0)
+        # Serialization preserves the split-window bounds.
+        rebuilt = schedule_from_dict(schedule_to_dict(routing.schedule))
+        assert rebuilt.bounds.bounds["m0"].windows == (
+            bounds.bounds["m0"].windows
+        )
+        result = ScheduledRoutingExecutor(
+            routing, timing, cube3, allocation
+        ).run(invocations=16, warmup=4)
+        assert not result.has_oi()

@@ -1,0 +1,74 @@
+"""Property-based tests of schedule serialization on random compiles."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.core.io import schedule_from_dict, schedule_to_dict
+from repro.errors import SchedulingError
+from repro.tfg import TFGTiming, random_layered_tfg
+from repro.topology import GeneralizedHypercube, binary_hypercube
+
+TOPOLOGIES = [binary_hypercube(3), GeneralizedHypercube((4, 4))]
+
+
+@st.composite
+def compiled_schedule(draw):
+    tfg = random_layered_tfg(
+        seed=draw(st.integers(0, 2000)),
+        layers=draw(st.integers(2, 3)),
+        width=draw(st.integers(1, 2)),
+        edge_probability=draw(st.floats(0.4, 1.0)),
+        ops_range=(200.0, 600.0),
+        size_range=(128.0, 1024.0),
+    )
+    topo = draw(st.sampled_from(TOPOLOGIES))
+    rng = random.Random(draw(st.integers(0, 2000)))
+    nodes = rng.sample(range(topo.num_nodes),
+                       min(tfg.num_tasks, topo.num_nodes))
+    allocation = {
+        task.name: nodes[i % len(nodes)]
+        for i, task in enumerate(tfg.tasks)
+    }
+    tau_c = max(t.ops for t in tfg.tasks) / 20.0
+    tau_m = max(m.size_bytes for m in tfg.messages) / 128.0
+    timing = TFGTiming(tfg, 128.0, speeds=20.0,
+                       message_window=max(tau_c, tau_m))
+    tau_in = max(timing.tau_c / draw(st.floats(0.3, 0.9)),
+                 timing.message_window)
+    try:
+        routing = compile_schedule(
+            timing, topo, allocation, tau_in,
+            CompilerConfig(max_paths=12, max_restarts=1, retries=0),
+        )
+    except SchedulingError:
+        return None
+    return routing.schedule
+
+
+class TestIORoundtripProperties:
+    @given(compiled_schedule())
+    @settings(max_examples=20)
+    def test_roundtrip_is_identity_on_slots(self, schedule):
+        if schedule is None:
+            return
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.assignment == schedule.assignment
+        assert rebuilt.num_commands == schedule.num_commands
+        for name, slots in schedule.slots.items():
+            for a, b in zip(slots, rebuilt.slots[name]):
+                assert (a.start, a.duration, a.path) == (
+                    b.start, b.duration, b.path
+                )
+
+    @given(compiled_schedule())
+    @settings(max_examples=20)
+    def test_roundtrip_revalidates(self, schedule):
+        if schedule is None:
+            return
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        rebuilt.validate()  # must not raise
+        # Double roundtrip is stable.
+        again = schedule_from_dict(schedule_to_dict(rebuilt))
+        assert schedule_to_dict(again) == schedule_to_dict(rebuilt)

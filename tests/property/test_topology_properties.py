@@ -1,0 +1,96 @@
+"""Property-based tests of topology invariants."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.topology import (
+    GeneralizedHypercube,
+    Mesh,
+    Torus,
+    enumerate_minimal_paths,
+    links_on_path,
+    lsd_to_msd_route,
+    validate_path,
+)
+
+radices = st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=3)
+families = st.sampled_from([GeneralizedHypercube, Torus, Mesh])
+
+
+@st.composite
+def topology_and_pair(draw):
+    family = draw(families)
+    topo = family(tuple(draw(radices)))
+    src = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    dst = draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    return topo, src, dst
+
+
+class TestAddressing:
+    @given(topology_and_pair())
+    def test_address_roundtrip(self, case):
+        topo, src, _ = case
+        assert topo.node_at(topo.address(src)) == src
+
+    @given(topology_and_pair())
+    def test_distance_symmetric(self, case):
+        topo, src, dst = case
+        assert topo.distance(src, dst) == topo.distance(dst, src)
+
+    @given(topology_and_pair())
+    def test_distance_zero_iff_equal(self, case):
+        topo, src, dst = case
+        assert (topo.distance(src, dst) == 0) == (src == dst)
+
+    @given(topology_and_pair())
+    def test_triangle_inequality_via_neighbor(self, case):
+        topo, src, dst = case
+        for mid in topo.neighbors(src):
+            assert topo.distance(src, dst) <= 1 + topo.distance(mid, dst)
+
+
+class TestRoutes:
+    @given(topology_and_pair())
+    def test_lsd_route_valid_minimal(self, case):
+        topo, src, dst = case
+        path = lsd_to_msd_route(topo, src, dst)
+        if src == dst:
+            assert path == [src]
+        else:
+            validate_path(topo, path, src, dst)
+
+    @given(topology_and_pair())
+    def test_enumeration_valid_unique_capped(self, case):
+        topo, src, dst = case
+        paths = enumerate_minimal_paths(topo, src, dst, max_paths=24)
+        assert 1 <= len(paths) <= 24
+        seen = set()
+        for path in paths:
+            key = tuple(path)
+            assert key not in seen
+            seen.add(key)
+            if src != dst:
+                validate_path(topo, path, src, dst)
+
+    @given(topology_and_pair())
+    def test_links_on_path_count(self, case):
+        topo, src, dst = case
+        path = lsd_to_msd_route(topo, src, dst)
+        links = links_on_path(path)
+        assert len(links) == len(path) - 1
+        assert len(set(links)) == len(links)  # a minimal path repeats no link
+
+
+class TestGHCSpecific:
+    @given(
+        st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=3),
+        st.data(),
+    )
+    def test_minimal_path_count_is_hamming_factorial(self, rads, data):
+        topo = GeneralizedHypercube(tuple(rads))
+        src = data.draw(st.integers(0, topo.num_nodes - 1))
+        dst = data.draw(st.integers(0, topo.num_nodes - 1))
+        h = topo.distance(src, dst)
+        paths = enumerate_minimal_paths(topo, src, dst, max_paths=1000)
+        assert len(paths) == math.factorial(h)

@@ -1,0 +1,100 @@
+"""Property-based tests of the wormhole simulator.
+
+Whatever the topology, workload, placement and period, a completed run
+must conserve work and order:
+
+- exactly one completion per invocation, strictly increasing;
+- invocation ``j`` never completes before its input arrived plus the
+  critical path length;
+- re-running the same configuration reproduces the series exactly
+  (the kernel's FIFO determinism end-to-end).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.tfg import TFGTiming, random_layered_tfg
+from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
+from repro.wormhole import WormholeSimulator
+
+TOPOLOGIES = [
+    binary_hypercube(3),
+    binary_hypercube(4),
+    GeneralizedHypercube((4, 4)),
+    Torus((4, 4)),
+]
+
+
+@st.composite
+def wormhole_case(draw):
+    tfg = random_layered_tfg(
+        seed=draw(st.integers(0, 3000)),
+        layers=draw(st.integers(2, 3)),
+        width=draw(st.integers(1, 3)),
+        edge_probability=draw(st.floats(0.3, 1.0)),
+        ops_range=(200.0, 800.0),
+        size_range=(128.0, 2048.0),
+    )
+    topo = draw(st.sampled_from(TOPOLOGIES))
+    rng = random.Random(draw(st.integers(0, 3000)))
+    nodes = rng.sample(
+        range(topo.num_nodes), min(tfg.num_tasks, topo.num_nodes)
+    )
+    allocation = {
+        task.name: nodes[i % len(nodes)]
+        for i, task in enumerate(tfg.tasks)
+    }
+    tau_c = max(t.ops for t in tfg.tasks) / 20.0
+    tau_m = max(m.size_bytes for m in tfg.messages) / 128.0
+    timing = TFGTiming(
+        tfg, 128.0, speeds=20.0, message_window=max(tau_c, tau_m)
+    )
+    tau_in = timing.tau_c / draw(st.floats(0.3, 1.0))
+    return timing, topo, allocation, tau_in
+
+
+class TestWormholeInvariants:
+    @given(wormhole_case())
+    @settings(max_examples=25)
+    def test_conservation_and_ordering(self, case):
+        timing, topo, allocation, tau_in = case
+        simulator = WormholeSimulator(timing, topo, allocation)
+        try:
+            result = simulator.run(tau_in, invocations=10, warmup=2)
+        except SimulationError:
+            return  # recovery budget exhausted: legitimate on tori
+        completions = result.completion_times
+        assert len(completions) == 10
+        assert all(b > a for a, b in zip(completions, completions[1:]))
+        lower = timing.critical_path().length
+        for j, completion in enumerate(completions):
+            assert completion >= j * tau_in + lower - 1e-6
+
+    @given(wormhole_case())
+    @settings(max_examples=15)
+    def test_determinism(self, case):
+        timing, topo, allocation, tau_in = case
+        try:
+            first = WormholeSimulator(timing, topo, allocation).run(
+                tau_in, invocations=8, warmup=2
+            )
+            second = WormholeSimulator(timing, topo, allocation).run(
+                tau_in, invocations=8, warmup=2
+            )
+        except SimulationError:
+            return
+        assert first.completion_times == second.completion_times
+        assert first.extra["recoveries"] == second.extra["recoveries"]
+
+    @given(wormhole_case())
+    @settings(max_examples=15)
+    def test_hypercube_needs_no_recovery(self, case):
+        timing, topo, allocation, tau_in = case
+        if "Torus" in topo.name:
+            return  # the theorem only covers ascending-dimension GHCs
+        result = WormholeSimulator(timing, topo, allocation).run(
+            tau_in, invocations=8, warmup=2
+        )
+        assert result.extra["recoveries"] == 0

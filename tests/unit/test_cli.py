@@ -1,0 +1,114 @@
+"""Unit tests for the repro-sr command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompileCommand:
+    def test_feasible_compile(self, capsys):
+        code = main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible" in out
+        assert "switching commands" in out
+
+    def test_infeasible_compile_exits_nonzero(self, capsys):
+        code = main([
+            "compile", "--topology", "torus8x8", "--bandwidth", "64",
+            "--models", "5", "--load", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "infeasible" in out
+
+
+class TestUtilizationCommand:
+    def test_prints_table(self, capsys):
+        code = main([
+            "utilization", "--topology", "hypercube6", "--bandwidth", "64",
+            "--models", "5", "--loads", "0.4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LSD->MSD" in out
+        assert "AssignPaths" in out
+        assert "0.4000" in out
+
+
+class TestPipelineCommand:
+    def test_prints_series(self, capsys):
+        code = main([
+            "pipeline", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--loads", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WR thr" in out
+        assert "SR status" in out
+
+
+class TestExportAndGantt:
+    def test_export_writes_loadable_schedule(self, capsys, tmp_path):
+        target = tmp_path / "omega.json"
+        code = main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.5", "--export", str(target),
+        ])
+        assert code == 0
+        assert "schedule written" in capsys.readouterr().out
+        from repro.core.io import load_schedule
+
+        loaded = load_schedule(target)
+        assert loaded.num_commands > 0
+
+    def test_gantt_prints_chart(self, capsys):
+        code = main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.5", "--gantt", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "switching schedule" in out
+        assert "|" in out
+
+
+class TestInspectCommand:
+    def test_inspect_saved_schedule(self, capsys, tmp_path):
+        target = tmp_path / "omega.json"
+        main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.5", "--export", str(target),
+        ])
+        capsys.readouterr()
+        code = main([
+            "inspect", str(target), "--gantt", "0", "--occupancy", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "re-validated on load" in out
+        assert "switching schedule" in out
+        assert "link occupancy" in out
+
+
+class TestTopologyCommand:
+    def test_prints_summaries(self, capsys):
+        code = main(["topology"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hypercube6" in out
+        assert "bisection" in out
+        assert "torus8x8" in out
+
+
+class TestArgumentValidation:
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--topology", "ring", "--load", "0.5"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,107 @@
+"""Unit tests for the AssignPaths heuristic and the LSD->MSD baseline."""
+
+import pytest
+
+from repro.core.assign_paths import assign_paths, lsd_assignment
+from repro.core.compiler import routed_and_local_messages
+from repro.core.timebounds import compute_time_bounds
+from repro.core.utilization import utilization_report
+from repro.experiments import standard_setup
+from repro.tfg import TFGTiming, dvb_tfg
+from repro.tfg.graph import build_tfg
+from repro.topology import lsd_to_msd_route
+
+
+def hotspot_case(cube3):
+    """Four messages whose LSD->MSD routes pile onto the same links but
+    which have fully disjoint alternatives."""
+    tfg = build_tfg(
+        "hot",
+        [(f"s{i}", 400) for i in range(4)] + [(f"d{i}", 400) for i in range(4)],
+        [(f"m{i}", f"s{i}", f"d{i}", 1280) for i in range(4)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    bounds = compute_time_bounds(timing, tau_in=100.0)
+    # All four messages 0 -> 7 equivalents: distinct (src, dst) node pairs
+    # at distance 2, every pair of which shares LSD->MSD prefixes.
+    endpoints = {"m0": (0, 3), "m1": (0, 5), "m2": (1, 7), "m3": (0, 6)}
+    return bounds, endpoints
+
+
+class TestLsdAssignment:
+    def test_matches_routing_function(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        assignment = lsd_assignment(cube3, endpoints)
+        for name, (src, dst) in endpoints.items():
+            assert list(assignment.path(name)) == lsd_to_msd_route(
+                cube3, src, dst
+            )
+
+
+class TestAssignPaths:
+    def test_improves_on_lsd(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        baseline = utilization_report(bounds, lsd_assignment(cube3, endpoints))
+        result = assign_paths(bounds, cube3, endpoints, seed=0)
+        assert result.report.peak <= baseline.peak
+
+    def test_result_is_valid_assignment(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        result = assign_paths(bounds, cube3, endpoints, seed=1)
+        for name, (src, dst) in endpoints.items():
+            path = result.assignment.path(name)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) - 1 == cube3.distance(src, dst)
+
+    def test_reproducible_per_seed(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        a = assign_paths(bounds, cube3, endpoints, seed=5)
+        b = assign_paths(bounds, cube3, endpoints, seed=5)
+        assert a.assignment.as_dict() == b.assignment.as_dict()
+        assert a.report.peak == b.report.peak
+
+    def test_report_matches_assignment(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        result = assign_paths(bounds, cube3, endpoints, seed=2)
+        fresh = utilization_report(bounds, result.assignment)
+        assert fresh.peak == pytest.approx(result.report.peak)
+
+    def test_zero_restarts_still_returns(self, cube3):
+        bounds, endpoints = hotspot_case(cube3)
+        result = assign_paths(bounds, cube3, endpoints, seed=0, max_restarts=0)
+        assert result.restarts == 0
+        assert result.report.peak > 0
+
+    def test_single_message_trivial(self, cube3):
+        tfg = build_tfg(
+            "one", [("a", 400), ("b", 400)], [("m", "a", "b", 640)]
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, tau_in=50.0)
+        result = assign_paths(bounds, cube3, {"m": (0, 7)}, seed=0)
+        assert result.report.peak == pytest.approx(5.0 / 10.0)
+
+    def test_paper_figure5_shape(self, dvb_setup_64):
+        """Fig. 5: AssignPaths is at least as low as LSD->MSD at every
+        load, on the paper's own workload and topology."""
+        setup = dvb_setup_64
+        routed, _ = routed_and_local_messages(setup.timing, setup.allocation)
+        endpoints = {
+            name: (
+                setup.allocation[setup.tfg.message(name).src],
+                setup.allocation[setup.tfg.message(name).dst],
+            )
+            for name in routed
+        }
+        for load in (0.2, 0.6, 1.0):
+            bounds = compute_time_bounds(
+                setup.timing, setup.tau_in_for_load(load), routed
+            )
+            baseline = utilization_report(
+                bounds, lsd_assignment(setup.topology, endpoints)
+            )
+            heuristic = assign_paths(
+                bounds, setup.topology, endpoints, seed=0,
+                max_paths=24, max_restarts=1,
+            )
+            assert heuristic.report.peak <= baseline.peak + 1e-9

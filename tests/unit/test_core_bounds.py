@@ -1,0 +1,105 @@
+"""Unit tests for assignment-invariant feasibility bounds."""
+
+import pytest
+
+from repro.core.bounds import feasibility_bounds
+from repro.core.compiler import compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments import standard_setup
+from repro.tfg import TFGTiming, dvb_tfg
+from repro.tfg.graph import build_tfg
+from repro.tfg.synth import chain_tfg
+from repro.topology import binary_hypercube
+
+
+class TestComputeBound:
+    def test_one_task_per_node_is_tau_c(self, cube3):
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        bounds = feasibility_bounds(
+            timing, cube3, {"t0": 0, "t1": 1, "t2": 3}
+        )
+        assert bounds.compute_bound == pytest.approx(timing.tau_c)
+
+    def test_shared_node_sums(self, cube3):
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        bounds = feasibility_bounds(
+            timing, cube3, {"t0": 0, "t1": 0, "t2": 3}
+        )
+        assert bounds.compute_bound == pytest.approx(20.0)
+
+
+class TestNodeThroughputBound:
+    def test_fan_out_through_degree(self, cube3):
+        # Node 0 (degree 3) sources three 10us messages: >= 30/3 = 10us.
+        tfg = build_tfg(
+            "fan",
+            [("s", 400)] + [(f"d{i}", 400) for i in range(3)],
+            [(f"m{i}", "s", f"d{i}", 1280) for i in range(3)],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        allocation = {"s": 0, "d0": 1, "d1": 2, "d2": 4}
+        bounds = feasibility_bounds(timing, cube3, allocation)
+        assert bounds.node_throughput_bound == pytest.approx(10.0)
+
+    def test_local_messages_do_not_count(self, cube3):
+        timing = TFGTiming(chain_tfg(2, 400, 1280), 128.0, speeds=40.0)
+        bounds = feasibility_bounds(timing, cube3, {"t0": 0, "t1": 0})
+        assert bounds.node_throughput_bound == 0.0
+        assert bounds.bisection_bound == 0.0
+
+
+class TestWindowOverloads:
+    def test_dvb8_at_b64_is_structurally_infeasible(self, cube6):
+        """The 8-model DVB's e_k fan-in cannot fit through the fusion
+        node's 6 links inside one window at B = 64 — at any load."""
+        setup = standard_setup(dvb_tfg(8), cube6, 64.0)
+        bounds = feasibility_bounds(
+            setup.timing, setup.topology, setup.allocation
+        )
+        assert not bounds.structurally_feasible
+        assert not bounds.admits(1e9)
+
+    def test_dvb5_at_b64_is_structurally_feasible(self, dvb_setup_64):
+        bounds = feasibility_bounds(
+            dvb_setup_64.timing, dvb_setup_64.topology,
+            dvb_setup_64.allocation,
+        )
+        assert bounds.structurally_feasible
+
+    def test_overload_tuple_shape(self, cube6):
+        setup = standard_setup(dvb_tfg(8), cube6, 64.0)
+        bounds = feasibility_bounds(
+            setup.timing, setup.topology, setup.allocation
+        )
+        for node, release, reason, demand, capacity in bounds.window_overloads:
+            assert demand > capacity
+            assert reason in {"volume", "exclusive"}
+            assert 0 <= node < 64
+            assert release >= 0
+
+
+class TestCrossValidation:
+    """The bounds are necessary conditions: every successful compile must
+    satisfy them."""
+
+    @pytest.mark.parametrize("load", [0.3, 0.6, 1.0])
+    def test_compile_success_implies_bounds(self, dvb_setup_128, load):
+        setup = dvb_setup_128
+        tau_in = setup.tau_in_for_load(load)
+        bounds = feasibility_bounds(
+            setup.timing, setup.topology, setup.allocation
+        )
+        try:
+            compile_schedule(
+                setup.timing, setup.topology, setup.allocation, tau_in
+            )
+        except SchedulingError:
+            return  # nothing to check: compiler may be stricter
+        assert bounds.admits(tau_in)
+
+    def test_min_period_at_least_tau_c(self, dvb_setup_128):
+        setup = dvb_setup_128
+        bounds = feasibility_bounds(
+            setup.timing, setup.topology, setup.allocation
+        )
+        assert bounds.min_period >= setup.timing.tau_c - 1e-9

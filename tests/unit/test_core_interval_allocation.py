@@ -1,0 +1,107 @@
+"""Unit tests for the message-interval allocation LP (Section 5.2)."""
+
+import pytest
+
+from repro.core.assignment import PathAssignment
+from repro.core.interval_allocation import allocate_intervals
+from repro.core.timebounds import compute_time_bounds
+from repro.errors import IntervalAllocationError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+
+
+def staged_case(cube3, sizes, tau_in=100.0, share_link=True):
+    """N parallel source->dest pairs released simultaneously."""
+    n = len(sizes)
+    tfg = build_tfg(
+        "stage",
+        [(f"s{i}", 400) for i in range(n)] + [(f"d{i}", 400) for i in range(n)],
+        [(f"m{i}", f"s{i}", f"d{i}", sizes[i]) for i in range(n)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    bounds = compute_time_bounds(timing, tau_in=tau_in)
+    if share_link:
+        endpoints = {f"m{i}": (0, 3) if i == 0 else (1, 3) for i in range(n)}
+        paths = {
+            f"m{i}": [0, 1, 3] if i == 0 else [1, 3] for i in range(n)
+        }
+    else:
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        endpoints = {f"m{i}": pairs[i] for i in range(n)}
+        paths = {f"m{i}": list(pairs[i]) for i in range(n)}
+    assignment = PathAssignment(cube3, endpoints, paths)
+    return bounds, assignment
+
+
+class TestAllocationSums:
+    def test_constraint3_totals(self, cube3):
+        bounds, assignment = staged_case(cube3, [640, 320], share_link=False)
+        for subset in (("m0",), ("m1",)):
+            allocation = allocate_intervals(bounds, assignment, subset)
+            for name in subset:
+                total = sum(
+                    t for (m, _), t in allocation.allocation.items() if m == name
+                )
+                assert total == pytest.approx(bounds.bounds[name].duration)
+
+    def test_allocations_only_in_active_intervals(self, cube3):
+        bounds, assignment = staged_case(cube3, [640, 320])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        for (name, k), value in allocation.allocation.items():
+            assert value > 0
+            assert k in bounds.active_intervals(name)
+
+    def test_constraint4_link_capacity(self, cube3):
+        bounds, assignment = staged_case(cube3, [640, 640])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        lengths = bounds.intervals.lengths
+        # Shared link (1,3): per interval, totals fit the length.
+        for k in range(bounds.intervals.count):
+            load = sum(
+                t for (m, kk), t in allocation.allocation.items() if kk == k
+            )
+            assert load <= lengths[k] + 1e-6
+
+    def test_load_factor_reported(self, cube3):
+        bounds, assignment = staged_case(cube3, [640, 640])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        # Two 5us messages on one link in a 10us shared window: z = 1.0.
+        assert allocation.load_factor == pytest.approx(1.0, abs=1e-6)
+
+    def test_balanced_when_room(self, cube3):
+        bounds, assignment = staged_case(cube3, [320, 320])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        assert allocation.load_factor == pytest.approx(0.5, abs=1e-6)
+
+
+class TestInfeasibility:
+    def test_overloaded_spot_raises(self, cube3):
+        # Two no-slack 10us messages on one link in one 10us window.
+        bounds, assignment = staged_case(cube3, [1280, 1280])
+        with pytest.raises(IntervalAllocationError) as info:
+            allocate_intervals(bounds, assignment, ("m0", "m1"), subset_index=7)
+        assert info.value.subset_index == 7
+        assert info.value.stage == "interval-allocation"
+
+    def test_just_feasible_boundary(self, cube3):
+        # 10us + exactly-fitting second message: total = window.
+        bounds, assignment = staged_case(cube3, [640, 640])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        assert allocation.load_factor <= 1.0 + 1e-6
+
+
+class TestAccessors:
+    def test_per_interval_and_intervals_used(self, cube3):
+        bounds, assignment = staged_case(cube3, [640, 320])
+        allocation = allocate_intervals(bounds, assignment, ("m0", "m1"))
+        used = allocation.intervals_used()
+        assert used
+        for k in used:
+            demands = allocation.per_interval(k)
+            assert demands
+            assert all(v > 0 for v in demands.values())
+        total = sum(
+            sum(allocation.per_interval(k).values()) for k in used
+        )
+        expected = sum(bounds.bounds[m].duration for m in ("m0", "m1"))
+        assert total == pytest.approx(expected)

@@ -1,0 +1,125 @@
+"""Unit tests for interval scheduling over link-feasible sets (Section 5.3)."""
+
+import pytest
+
+from repro.core.assignment import PathAssignment
+from repro.core.interval_scheduling import (
+    conflict_graph,
+    max_weight_independent_set,
+    schedule_interval,
+)
+from repro.core.timebounds import compute_time_bounds
+from repro.errors import IntervalSchedulingError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+
+
+def assignment_with_paths(cube3, paths):
+    endpoints = {name: (path[0], path[-1]) for name, path in paths.items()}
+    return PathAssignment(cube3, endpoints, {n: list(p) for n, p in paths.items()})
+
+
+@pytest.fixture()
+def three_messages(cube3):
+    """m0 conflicts with m1 (link (1,3)); m2 is independent of both."""
+    return assignment_with_paths(
+        cube3,
+        {"m0": [0, 1, 3], "m1": [1, 3], "m2": [4, 5]},
+    )
+
+
+class TestConflictGraph:
+    def test_edges_follow_shared_links(self, three_messages):
+        adjacency = conflict_graph(three_messages, ["m0", "m1", "m2"])
+        assert adjacency["m0"] == {"m1"}
+        assert adjacency["m1"] == {"m0"}
+        assert adjacency["m2"] == set()
+
+
+class TestMaxWeightIndependentSet:
+    def test_picks_heaviest_combination(self):
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}}
+        weights = {"a": 2.0, "b": 3.0, "c": 2.0}
+        chosen, weight = max_weight_independent_set(adjacency, weights)
+        assert chosen == {"a", "c"}
+        assert weight == 4.0
+
+    def test_ignores_nonpositive_weights(self):
+        adjacency = {"a": set(), "b": set()}
+        weights = {"a": 1.0, "b": -1.0}
+        chosen, weight = max_weight_independent_set(adjacency, weights)
+        assert chosen == {"a"}
+        assert weight == 1.0
+
+    def test_empty(self):
+        chosen, weight = max_weight_independent_set({}, {})
+        assert chosen == frozenset()
+        assert weight == 0.0
+
+    def test_triangle(self):
+        adjacency = {
+            "a": {"b", "c"}, "b": {"a", "c"}, "c": {"a", "b"},
+        }
+        weights = {"a": 1.0, "b": 2.0, "c": 1.5}
+        chosen, weight = max_weight_independent_set(adjacency, weights)
+        assert chosen == {"b"}
+        assert weight == 2.0
+
+
+class TestScheduleInterval:
+    def test_parallelizes_independent_messages(self, three_messages):
+        demands = {"m0": 4.0, "m2": 4.0}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        # Disjoint links: both can run in one slot of 4us.
+        assert schedule.total_time == pytest.approx(4.0)
+        assert schedule.message_time("m0") == pytest.approx(4.0)
+        assert schedule.message_time("m2") == pytest.approx(4.0)
+
+    def test_serializes_conflicting_messages(self, three_messages):
+        demands = {"m0": 4.0, "m1": 5.0}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        assert schedule.total_time == pytest.approx(9.0)
+        for slot in schedule.slots:
+            assert not {"m0", "m1"} <= slot.messages
+
+    def test_mixed_case_optimum(self, three_messages):
+        demands = {"m0": 4.0, "m1": 5.0, "m2": 3.0}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        # m2 rides along with either m0 or m1: makespan = 9, not 12.
+        assert schedule.total_time == pytest.approx(9.0)
+
+    def test_exact_fit(self, three_messages):
+        demands = {"m0": 5.0, "m1": 5.0}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        assert schedule.total_time == pytest.approx(10.0)
+
+    def test_overflow_raises(self, three_messages):
+        demands = {"m0": 6.0, "m1": 6.0}
+        with pytest.raises(IntervalSchedulingError) as info:
+            schedule_interval(three_messages, 3, demands, 10.0)
+        assert info.value.interval_index == 3
+        assert info.value.required == pytest.approx(12.0)
+        assert info.value.available == 10.0
+
+    def test_empty_interval(self, three_messages):
+        schedule = schedule_interval(three_messages, 0, {}, 10.0)
+        assert schedule.slots == ()
+        assert schedule.total_time == 0.0
+
+    def test_demand_exactly_covered_per_message(self, three_messages):
+        demands = {"m0": 2.5, "m1": 7.0, "m2": 1.0}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        for name, demand in demands.items():
+            assert schedule.message_time(name) == pytest.approx(demand)
+
+    def test_column_generation_beats_singletons(self, cube3):
+        # Three mutually-independent messages: singleton-only packing would
+        # take 3 slots of 5us (15us); the optimum packs them together (5us).
+        assignment = assignment_with_paths(
+            cube3, {"a": [0, 1], "b": [2, 3], "c": [4, 5]}
+        )
+        schedule = schedule_interval(
+            assignment, 0, {"a": 5.0, "b": 5.0, "c": 5.0}, 6.0
+        )
+        assert schedule.total_time == pytest.approx(5.0)
+        assert any(len(slot.messages) == 3 for slot in schedule.slots)

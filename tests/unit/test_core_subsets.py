@@ -1,0 +1,134 @@
+"""Unit tests for maximal related subsets (Defs. 5.3-5.4)."""
+
+from repro.core.assignment import PathAssignment
+from repro.core.subsets import maximal_subsets
+from repro.core.timebounds import compute_time_bounds
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+
+
+def make_case(cube3, *, overlap_time: bool, share_link: bool):
+    """Two messages with controllable link sharing and window overlap.
+
+    ``overlap_time=False`` separates their releases by a full window so
+    their activity rows are disjoint at tau_in=100.
+    """
+    # Window/exec = 10us.  Chain a->b->c makes m2's release 20us after m1's.
+    if overlap_time:
+        tfg = build_tfg(
+            "par",
+            [("a", 400), ("b", 400), ("x", 400), ("y", 400)],
+            [("m1", "a", "b", 1280), ("m2", "x", "y", 1280)],
+        )
+    else:
+        tfg = build_tfg(
+            "chain",
+            [("a", 400), ("b", 400), ("c", 400)],
+            [("m1", "a", "b", 1280), ("m2", "b", "c", 1280)],
+        )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    bounds = compute_time_bounds(timing, tau_in=100.0)
+    if share_link:
+        endpoints = {"m1": (0, 3), "m2": (1, 3)}
+        paths = {"m1": [0, 1, 3], "m2": [1, 3]}
+    else:
+        endpoints = {"m1": (0, 1), "m2": (4, 5)}
+        paths = {"m1": [0, 1], "m2": [4, 5]}
+    return bounds, PathAssignment(cube3, endpoints, paths)
+
+
+class TestMaximalSubsets:
+    def test_link_and_time_sharing_relates(self, cube3):
+        bounds, assignment = make_case(cube3, overlap_time=True, share_link=True)
+        subsets = maximal_subsets(bounds, assignment)
+        assert subsets == [("m1", "m2")]
+
+    def test_link_without_time_overlap_unrelated(self, cube3):
+        bounds, assignment = make_case(cube3, overlap_time=False, share_link=True)
+        subsets = maximal_subsets(bounds, assignment)
+        assert subsets == [("m1",), ("m2",)]
+
+    def test_time_without_link_unrelated(self, cube3):
+        bounds, assignment = make_case(cube3, overlap_time=True, share_link=False)
+        subsets = maximal_subsets(bounds, assignment)
+        assert subsets == [("m1",), ("m2",)]
+
+    def test_transitivity(self, cube3):
+        # m1-m2 share a link, m2-m3 share another: all three related.
+        tfg = build_tfg(
+            "tri",
+            [(f"t{i}", 400) for i in range(6)],
+            [
+                ("m1", "t0", "t1", 640),
+                ("m2", "t2", "t3", 640),
+                ("m3", "t4", "t5", 640),
+            ],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, tau_in=100.0)
+        assignment = PathAssignment(
+            cube3,
+            {"m1": (0, 3), "m2": (1, 2), "m3": (3, 6)},
+            {"m1": [0, 1, 3], "m2": [1, 3, 2], "m3": [3, 2, 6]},
+        )
+        subsets = maximal_subsets(bounds, assignment)
+        assert subsets == [("m1", "m2", "m3")]
+
+    def test_partition_covers_all_messages(self, dvb_setup_128):
+        from repro.core.assign_paths import lsd_assignment
+        from repro.core.compiler import routed_and_local_messages
+
+        setup = dvb_setup_128
+        routed, _ = routed_and_local_messages(setup.timing, setup.allocation)
+        bounds = compute_time_bounds(setup.timing, setup.tau_in_for_load(0.5),
+                                     routed)
+        endpoints = {
+            name: (
+                setup.allocation[setup.tfg.message(name).src],
+                setup.allocation[setup.tfg.message(name).dst],
+            )
+            for name in routed
+        }
+        assignment = lsd_assignment(setup.topology, endpoints)
+        subsets = maximal_subsets(bounds, assignment)
+        flattened = [name for subset in subsets for name in subset]
+        assert sorted(flattened) == sorted(routed)
+        assert len(set(flattened)) == len(flattened)
+
+    def test_cross_subset_messages_never_share_link_and_interval(
+        self, dvb_setup_128
+    ):
+        """The property the schedule builder relies on: within any single
+        interval, messages of different subsets are link-disjoint."""
+        from repro.core.assign_paths import lsd_assignment
+        from repro.core.compiler import routed_and_local_messages
+
+        setup = dvb_setup_128
+        routed, _ = routed_and_local_messages(setup.timing, setup.allocation)
+        bounds = compute_time_bounds(setup.timing, setup.tau_in_for_load(0.7),
+                                     routed)
+        endpoints = {
+            name: (
+                setup.allocation[setup.tfg.message(name).src],
+                setup.allocation[setup.tfg.message(name).dst],
+            )
+            for name in routed
+        }
+        assignment = lsd_assignment(setup.topology, endpoints)
+        subsets = maximal_subsets(bounds, assignment)
+        member = {}
+        for index, subset in enumerate(subsets):
+            for name in subset:
+                member[name] = index
+        for i, first in enumerate(routed):
+            for second in routed[i + 1:]:
+                if member[first] == member[second]:
+                    continue
+                shared = set(assignment.links(first)) & set(
+                    assignment.links(second)
+                )
+                if not shared:
+                    continue
+                row_a = bounds.activity[bounds.index[first]]
+                row_b = bounds.activity[bounds.index[second]]
+                assert not (row_a & row_b).any()

@@ -1,0 +1,132 @@
+"""Unit tests for switching schedules and Omega validation."""
+
+import pytest
+
+from repro.core.switching import (
+    AP_PORT,
+    CommunicationSchedule,
+    NodeSchedule,
+    SwitchCommand,
+    TransmissionSlot,
+    _slot_commands,
+)
+from repro.errors import ScheduleValidationError
+
+
+def slot(message="m", start=0.0, duration=5.0, path=(0, 1, 3)):
+    return TransmissionSlot(message, start, duration, tuple(path))
+
+
+class TestTransmissionSlot:
+    def test_links(self):
+        s = slot(path=(0, 1, 3, 7))
+        assert s.links == ((0, 1), (1, 3), (3, 7))
+        assert s.end == 5.0
+
+
+class TestSlotCommands:
+    def test_roles_along_path(self):
+        commands = dict(
+            (node, cmd) for cmd, node in _slot_commands(slot(path=(0, 1, 3)))
+        )
+        assert commands[0].input_port == AP_PORT
+        assert commands[0].output_port == 1
+        assert commands[1].input_port == 0
+        assert commands[1].output_port == 3
+        assert commands[3].input_port == 1
+        assert commands[3].output_port == AP_PORT
+
+    def test_single_hop(self):
+        commands = list(_slot_commands(slot(path=(4, 5))))
+        assert len(commands) == 2
+        src_cmd, dst_cmd = commands[0][0], commands[1][0]
+        assert src_cmd.input_port == AP_PORT and src_cmd.output_port == 5
+        assert dst_cmd.input_port == 4 and dst_cmd.output_port == AP_PORT
+
+
+def schedule_from_slots(slots_by_message, tau_in=100.0):
+    node_commands = {}
+    for slots in slots_by_message.values():
+        for s in slots:
+            for cmd, node in _slot_commands(s):
+                node_commands.setdefault(node, []).append(cmd)
+    node_schedules = {
+        node: NodeSchedule(node, tuple(sorted(cmds, key=lambda c: (c.time, c.message))))
+        for node, cmds in node_commands.items()
+    }
+    return CommunicationSchedule(
+        tau_in=tau_in,
+        slots={m: tuple(s) for m, s in slots_by_message.items()},
+        node_schedules=node_schedules,
+    )
+
+
+class TestValidation:
+    def test_disjoint_slots_pass(self):
+        schedule = schedule_from_slots(
+            {
+                "m1": [slot("m1", 0.0, 5.0, (0, 1))],
+                "m2": [slot("m2", 0.0, 5.0, (2, 3))],
+            }
+        )
+        schedule.validate()
+        assert schedule.num_commands == 4
+
+    def test_link_double_booking_caught(self):
+        schedule = schedule_from_slots(
+            {
+                "m1": [slot("m1", 0.0, 5.0, (0, 1, 3))],
+                "m2": [slot("m2", 3.0, 5.0, (1, 3))],
+            }
+        )
+        with pytest.raises(ScheduleValidationError, match="double-booked"):
+            schedule.validate()
+
+    def test_back_to_back_slots_allowed(self):
+        schedule = schedule_from_slots(
+            {
+                "m1": [slot("m1", 0.0, 5.0, (0, 1))],
+                "m2": [slot("m2", 5.0, 5.0, (0, 1))],
+            }
+        )
+        schedule.validate()
+
+    def test_node_schedule_mismatch_caught(self):
+        schedule = schedule_from_slots(
+            {"m1": [slot("m1", 0.0, 5.0, (0, 1))]}
+        )
+        # Drop one node's commands.
+        del schedule.node_schedules[1]
+        with pytest.raises(ScheduleValidationError, match="do not match"):
+            schedule.validate()
+
+    def test_same_message_preemption_slots_pass(self):
+        schedule = schedule_from_slots(
+            {
+                "m1": [
+                    slot("m1", 0.0, 3.0, (0, 1, 3)),
+                    slot("m1", 6.0, 2.0, (0, 1, 3)),
+                ],
+            }
+        )
+        schedule.validate()
+
+    def test_ap_port_never_conflicts(self):
+        # One node sending two messages simultaneously on different
+        # channels: allowed (separate per-channel AP buffers, Fig. 2).
+        schedule = schedule_from_slots(
+            {
+                "m1": [slot("m1", 0.0, 5.0, (0, 1))],
+                "m2": [slot("m2", 0.0, 5.0, (0, 2))],
+            }
+        )
+        schedule.validate()
+
+    def test_all_slots_flattening(self):
+        schedule = schedule_from_slots(
+            {
+                "m1": [slot("m1", 0.0, 2.0, (0, 1)), slot("m1", 4.0, 1.0, (0, 1))],
+                "m2": [slot("m2", 0.0, 2.0, (2, 3))],
+            }
+        )
+        assert len(schedule.all_slots()) == 3

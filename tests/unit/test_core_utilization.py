@@ -1,0 +1,180 @@
+"""Unit tests for path assignments and utilisation (Defs. 5.1-5.2)."""
+
+import pytest
+
+from repro.core.assignment import PathAssignment
+from repro.core.timebounds import compute_time_bounds
+from repro.core.utilization import (
+    KIND_LINK,
+    KIND_SPOT,
+    UtilizationState,
+    utilization_report,
+)
+from repro.errors import RoutingError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+
+
+def two_message_case(cube3, sizes=(1280, 1280), share_link=True):
+    """Two parallel messages on the 3-cube with controllable overlap.
+
+    Both are released at t=10 with 10us windows; paths share link (0->1
+    segment) when ``share_link``.
+    """
+    tfg = build_tfg(
+        "pair",
+        [("s1", 400), ("s2", 400), ("d1", 400), ("d2", 400)],
+        [
+            ("m1", "s1", "d1", sizes[0]),
+            ("m2", "s2", "d2", sizes[1]),
+        ],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    bounds = compute_time_bounds(timing, tau_in=100.0)
+    if share_link:
+        # Both messages traverse link (1, 3); m1 can escape via [0, 2, 3].
+        endpoints = {"m1": (0, 3), "m2": (1, 3)}
+        paths = {"m1": [0, 1, 3], "m2": [1, 3]}
+    else:
+        endpoints = {"m1": (0, 3), "m2": (4, 7)}
+        paths = {"m1": [0, 1, 3], "m2": [4, 5, 7]}
+    return bounds, PathAssignment(cube3, endpoints, paths)
+
+
+class TestPathAssignment:
+    def test_links_cached(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        assert assignment.links("m1") == ((0, 1), (1, 3))
+        assert assignment.hops("m1") == 2
+        assert assignment.hops("m2") == 1
+
+    def test_set_path_validates(self, cube3):
+        _, assignment = two_message_case(cube3)
+        with pytest.raises(RoutingError):
+            assignment.set_path("m1", [0, 1, 5, 7, 3])  # not minimal
+        with pytest.raises(RoutingError):
+            assignment.set_path("m1", [0, 3])  # 0 and 3 are not adjacent
+        assignment.set_path("m1", [0, 2, 3])  # the other minimal path
+        assert assignment.links("m1") == ((0, 2), (2, 3))
+
+    def test_messages_on(self, cube3):
+        _, assignment = two_message_case(cube3)
+        assert set(assignment.messages_on((1, 3))) == {"m1", "m2"}
+        assert assignment.messages_on((0, 2)) == ()
+
+    def test_missing_path_rejected(self, cube3):
+        with pytest.raises(RoutingError):
+            PathAssignment(cube3, {"m": (0, 3)}, {})
+
+    def test_copy_is_independent(self, cube3):
+        _, assignment = two_message_case(cube3)
+        clone = assignment.copy()
+        assignment.set_path("m1", [0, 2, 3])
+        assert clone.path("m1") == (0, 1, 3)
+
+    def test_used_links(self, cube3):
+        _, assignment = two_message_case(cube3, share_link=False)
+        assert assignment.used_links() == {(0, 1), (1, 3), (4, 5), (5, 7)}
+
+
+class TestLinkUtilization:
+    def test_shared_link_sums_durations(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        report = utilization_report(bounds, assignment)
+        # Two 10us no-slack messages share (1,3) in a 10us window:
+        # link utilisation 2.0 and spot ratio 2.0.
+        assert report.peak == pytest.approx(2.0)
+        assert not report.feasible
+
+    def test_disjoint_paths_feasible(self, cube3):
+        bounds, assignment = two_message_case(cube3, share_link=False)
+        report = utilization_report(bounds, assignment)
+        assert report.peak == pytest.approx(1.0)  # no-slack on own links
+        assert report.feasible
+
+    def test_slack_messages_share_comfortably(self, cube3):
+        bounds, assignment = two_message_case(cube3, sizes=(320, 320))
+        report = utilization_report(bounds, assignment)
+        # Two 2.5us messages in 10us windows sharing a link: U = 5/10.
+        assert report.peak == pytest.approx(0.5)
+        assert report.feasible
+
+    def test_definition_51_denominator_is_active_union(self, cube3):
+        # One message on a link: U_j = duration / window length.
+        bounds, assignment = two_message_case(cube3, sizes=(640, 320),
+                                              share_link=False)
+        report = utilization_report(bounds, assignment)
+        per_link = report.link_utilizations
+        assert per_link[(0, 1)] == pytest.approx(5.0 / 10.0)
+        assert per_link[(4, 5)] == pytest.approx(2.5 / 10.0)
+
+
+class TestSpotUtilization:
+    def test_forced_load_catches_confined_slack_messages(self, cube3):
+        # m1 no-slack (10us/10us window), m2 slack-free in the same single
+        # interval: Def 5.1 alone would average over the union, but the
+        # spot must reject m2 sharing m1's link.
+        bounds, assignment = two_message_case(cube3, sizes=(1280, 640))
+        state = UtilizationState(bounds, assignment)
+        witness = state.peak()
+        assert witness.kind == KIND_SPOT
+        assert witness.value == pytest.approx(1.5)  # (10 + 5) / 10
+
+    def test_no_slack_forced_equals_interval_length(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        state = UtilizationState(bounds, assignment)
+        i = bounds.index["m1"]
+        for k in bounds.active_intervals("m1"):
+            assert state.forced[i, k] == pytest.approx(
+                bounds.intervals.lengths[k]
+            )
+
+    def test_witness_position_names_interval(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        witness = UtilizationState(bounds, assignment).peak()
+        assert witness.kind == KIND_SPOT
+        assert witness.interval >= 0
+        assert witness.link == (1, 3)
+        assert "interval" in witness.describe()
+
+
+class TestIncrementalMaintenance:
+    def test_reroute_updates_match_fresh_state(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        state = UtilizationState(bounds, assignment)
+        state.reroute("m1", [0, 2, 3])
+        fresh = UtilizationState(bounds, state.assignment)
+        assert state.peak().value == pytest.approx(fresh.peak().value)
+        assert (state.total_time == fresh.total_time).all()
+        assert (state.spot_load == fresh.spot_load).all()
+        # The incremental caches agree with a from-scratch build.
+        assert state.window_time == pytest.approx(fresh.window_time)
+        assert state.spot_max == pytest.approx(fresh.spot_max)
+
+    def test_window_time_cache_matches_matrix(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        state = UtilizationState(bounds, assignment)
+        for _ in range(3):
+            state.reroute("m1", [0, 2, 3])
+            state.reroute("m1", [0, 1, 3])
+        import numpy as np
+
+        expected = (state.active_count > 0) @ np.asarray(
+            bounds.intervals.lengths
+        )
+        assert state.window_time == pytest.approx(expected)
+
+    def test_evaluate_reroute_restores_state(self, cube3):
+        bounds, assignment = two_message_case(cube3)
+        state = UtilizationState(bounds, assignment)
+        before = state.peak().value
+        outcome = state.evaluate_reroute("m1", [0, 2, 3])
+        assert outcome.value < before  # moving off the shared link helps
+        assert state.peak().value == pytest.approx(before)
+        assert state.assignment.path("m1") == (0, 1, 3)
+
+    def test_link_kind_witness_when_no_hotspot(self, cube3):
+        bounds, assignment = two_message_case(cube3, sizes=(320, 320))
+        witness = UtilizationState(bounds, assignment).peak()
+        assert witness.kind == KIND_LINK
+        assert witness.interval == -1

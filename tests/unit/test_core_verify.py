@@ -1,0 +1,53 @@
+"""Unit tests for the bundled schedule verification."""
+
+import pytest
+
+from repro.core.compiler import compile_schedule
+from repro.core.io import schedule_from_dict, schedule_to_dict
+from repro.core.switching import TransmissionSlot
+from repro.core.verify import verify_schedule
+from repro.errors import ScheduleValidationError
+from repro.tfg import TFGTiming
+from repro.tfg.synth import chain_tfg
+
+
+@pytest.fixture()
+def compiled(cube3):
+    timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+    allocation = {"t0": 0, "t1": 1, "t2": 3, "t3": 7}
+    routing = compile_schedule(timing, cube3, allocation, tau_in=40.0)
+    return routing, timing, cube3, allocation
+
+
+class TestVerifySchedule:
+    def test_fresh_compile_verifies(self, compiled):
+        routing, timing, topology, allocation = compiled
+        report = verify_schedule(routing, timing, topology, allocation)
+        assert report.commands_replayed == routing.schedule.num_commands
+        assert report.mean_normalized_throughput == pytest.approx(1.0)
+        assert not report.output_inconsistency
+
+    def test_reloaded_schedule_verifies(self, compiled):
+        routing, timing, topology, allocation = compiled
+        rebuilt = schedule_from_dict(schedule_to_dict(routing.schedule))
+        routing.schedule = rebuilt
+        report = verify_schedule(routing, timing, topology, allocation)
+        assert not report.output_inconsistency
+
+    def test_tampered_schedule_rejected(self, compiled):
+        routing, timing, topology, allocation = compiled
+        name = next(iter(routing.schedule.slots))
+        slots = routing.schedule.slots[name]
+        routing.schedule.slots[name] = tuple(
+            TransmissionSlot(s.message, s.start, s.duration / 2, s.path)
+            for s in slots
+        )
+        with pytest.raises(ScheduleValidationError):
+            verify_schedule(routing, timing, topology, allocation)
+
+    def test_invocation_budget_respected(self, compiled):
+        routing, timing, topology, allocation = compiled
+        report = verify_schedule(
+            routing, timing, topology, allocation, invocations=10, warmup=2
+        )
+        assert report.invocations_executed == 10

@@ -1,0 +1,109 @@
+"""Unit tests for the communication-processor (crossbar) model."""
+
+import pytest
+
+from repro.core.compiler import compile_schedule
+from repro.core.switching import AP_PORT, NodeSchedule, SwitchCommand
+from repro.cp import CommunicationProcessor, Crossbar, replay_schedule
+from repro.errors import ScheduleValidationError
+from repro.tfg import TFGTiming
+from repro.tfg.synth import chain_tfg
+
+
+class TestCrossbar:
+    def test_connect_and_disconnect(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        connection = crossbar.connect(AP_PORT, 1, "m")
+        assert crossbar.active_connections == (connection,)
+        crossbar.disconnect(connection)
+        assert crossbar.active_connections == ()
+
+    def test_unknown_channel_rejected(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        with pytest.raises(ScheduleValidationError, match="no channel"):
+            crossbar.connect(AP_PORT, 7, "m")  # 7 is not adjacent to 0
+
+    def test_busy_channel_rejected(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        crossbar.connect(AP_PORT, 1, "m1")
+        with pytest.raises(ScheduleValidationError, match="busy"):
+            crossbar.connect(2, 1, "m2")
+
+    def test_half_duplex_port_is_exclusive_both_ways(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        crossbar.connect(1, AP_PORT, "m1")  # receiving from 1
+        with pytest.raises(ScheduleValidationError, match="busy"):
+            crossbar.connect(AP_PORT, 1, "m2")  # sending to 1 concurrently
+
+    def test_ap_fan_is_unlimited(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        crossbar.connect(AP_PORT, 1, "m1")
+        crossbar.connect(AP_PORT, 2, "m2")
+        crossbar.connect(4, AP_PORT, "m3")
+        assert len(crossbar.active_connections) == 3
+
+    def test_loop_rejected(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        with pytest.raises(ScheduleValidationError, match="loops"):
+            crossbar.connect(1, 1, "m")
+
+    def test_double_disconnect_rejected(self, cube3):
+        crossbar = Crossbar(0, cube3.neighbors(0))
+        connection = crossbar.connect(AP_PORT, 1, "m")
+        crossbar.disconnect(connection)
+        with pytest.raises(ScheduleValidationError, match="inactive"):
+            crossbar.disconnect(connection)
+
+
+class TestCommunicationProcessor:
+    def make_schedule(self, node, commands):
+        return NodeSchedule(node, tuple(commands))
+
+    def test_sequential_commands_execute(self, cube3):
+        cp = CommunicationProcessor(0, cube3)
+        schedule = self.make_schedule(0, [
+            SwitchCommand(0.0, 5.0, AP_PORT, 1, "m1"),
+            SwitchCommand(5.0, 5.0, AP_PORT, 1, "m2"),
+        ])
+        assert cp.execute(schedule, frame_length=20.0) == 2
+
+    def test_overlap_on_channel_caught(self, cube3):
+        cp = CommunicationProcessor(0, cube3)
+        schedule = self.make_schedule(0, [
+            SwitchCommand(0.0, 5.0, AP_PORT, 1, "m1"),
+            SwitchCommand(3.0, 5.0, 2, 1, "m2"),
+        ])
+        with pytest.raises(ScheduleValidationError, match="busy"):
+            cp.execute(schedule, frame_length=20.0)
+
+    def test_command_outside_frame_caught(self, cube3):
+        cp = CommunicationProcessor(0, cube3)
+        schedule = self.make_schedule(0, [
+            SwitchCommand(18.0, 5.0, AP_PORT, 1, "m"),
+        ])
+        with pytest.raises(ScheduleValidationError, match="outside frame"):
+            cp.execute(schedule, frame_length=20.0)
+
+    def test_wrong_node_rejected(self, cube3):
+        cp = CommunicationProcessor(0, cube3)
+        with pytest.raises(ScheduleValidationError):
+            cp.execute(self.make_schedule(1, []), frame_length=10.0)
+
+    def test_parallel_disjoint_channels_ok(self, cube3):
+        cp = CommunicationProcessor(0, cube3)
+        schedule = self.make_schedule(0, [
+            SwitchCommand(0.0, 5.0, 1, 2, "m1"),
+            SwitchCommand(0.0, 5.0, 4, AP_PORT, "m2"),
+        ])
+        assert cp.execute(schedule, frame_length=10.0) == 2
+
+
+class TestReplaySchedule:
+    def test_replays_compiled_omega(self, cube3):
+        """Hardware-level replay agrees with the schedule validator on a
+        real compiled schedule."""
+        timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3, "t3": 7}
+        routing = compile_schedule(timing, cube3, allocation, tau_in=40.0)
+        executed = replay_schedule(routing.schedule, cube3)
+        assert executed == routing.schedule.num_commands

@@ -1,0 +1,74 @@
+"""Edge-case tests for branches the main suites do not reach."""
+
+import pytest
+
+from repro.core.switching import CommunicationSchedule
+from repro.core.timebounds import _dedupe, compute_time_bounds
+from repro.errors import SchedulingError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.tfg.synth import chain_tfg
+from repro.viz import link_occupancy_chart
+
+
+class TestTimeboundEdges:
+    def test_dedupe_collapses_float_hairs(self):
+        assert _dedupe([0.0, 1e-12, 5.0, 5.0 + 1e-12, 10.0]) == [0.0, 5.0, 10.0]
+
+    def test_window_equal_to_period(self):
+        # tau_in == tau_c == window: every message gets the whole frame.
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, tau_in=10.0)
+        for bound in bounds.bounds.values():
+            assert bound.active_length == pytest.approx(10.0)
+
+    def test_window_longer_than_period_rejected(self):
+        timing = TFGTiming(
+            chain_tfg(3, 400, 1280), 128.0, speeds=40.0, message_window=30.0
+        )
+        with pytest.raises(SchedulingError, match="exceeds the period"):
+            compute_time_bounds(timing, tau_in=20.0)
+
+    def test_release_exactly_at_frame_edge_single_window(self):
+        # Release 10 with window 10 and tau_in 20: [10, 20], no wrap.
+        timing = TFGTiming(chain_tfg(2, 400, 1280), 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, tau_in=20.0)
+        assert bounds.bounds["m0"].windows == ((10.0, 20.0),)
+        assert bounds.bounds["m0"].deadline == 20.0
+
+
+class TestVizEdges:
+    def test_occupancy_of_empty_schedule(self):
+        schedule = CommunicationSchedule(tau_in=10.0, slots={})
+        assert "no links" in link_occupancy_chart(schedule)
+
+
+class TestSingleTaskPipeline:
+    def test_tfg_without_messages_compiles_trivially(self, cube3):
+        from repro.core.compiler import compile_schedule
+
+        tfg = build_tfg("solo", [("only", 400)], [])
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        routing = compile_schedule(timing, cube3, {"only": 0}, tau_in=10.0)
+        assert routing.schedule.num_commands == 0
+        assert routing.subsets == []
+
+    def test_all_local_messages_compile_trivially(self, cube3):
+        from repro.core.compiler import compile_schedule
+
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 5, "t1": 5, "t2": 5}
+        routing = compile_schedule(timing, cube3, allocation, tau_in=40.0)
+        assert routing.local_messages == ("m0", "m1")
+        assert routing.schedule.slots == {}
+
+    def test_wormhole_all_local(self, cube3):
+        from repro.wormhole import WormholeSimulator
+
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        result = WormholeSimulator(
+            timing, cube3, {"t0": 5, "t1": 5, "t2": 5}
+        ).run(tau_in=30.0, invocations=10, warmup=2)
+        assert not result.has_oi()
+        # Three colocated 10us tasks serialized per invocation: latency 30.
+        assert result.latencies[0] == pytest.approx(30.0)

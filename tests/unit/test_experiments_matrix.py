@@ -1,0 +1,71 @@
+"""Unit tests for the feasibility-matrix driver."""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig
+from repro.experiments import feasibility_matrix, format_matrix
+from repro.mapping import bfs_allocation
+from repro.tfg.synth import chain_tfg
+from repro.topology import binary_hypercube
+
+
+@pytest.fixture()
+def small_matrix(cube3):
+    tfg = chain_tfg(4, 400, 1280)
+    return feasibility_matrix(
+        tfg, [cube3], [64.0, 128.0], [0.5, 1.0],
+        config=CompilerConfig(max_paths=12, max_restarts=1, retries=0),
+    )
+
+
+class TestFeasibilityMatrix:
+    def test_one_row_per_configuration(self, small_matrix):
+        assert len(small_matrix) == 2
+        for row in small_matrix:
+            assert len(row.verdicts) == 2
+            assert row.loads == (0.5, 1.0)
+
+    def test_verdict_codes(self, small_matrix):
+        for row in small_matrix:
+            for verdict in row.verdicts:
+                assert verdict in {"OK", "U>1", "ALO", "SCH", "ERR"}
+
+    def test_counts_and_highest_load(self, small_matrix):
+        for row in small_matrix:
+            feasible = [
+                load for load, v in zip(row.loads, row.verdicts) if v == "OK"
+            ]
+            assert row.feasible_count == len(feasible)
+            if feasible:
+                assert row.highest_feasible_load == max(feasible)
+            else:
+                assert row.highest_feasible_load is None
+
+    def test_bandwidth_ordering(self, small_matrix):
+        # At B=64 every chain message is no-slack and the wrapped windows
+        # of m1 and m2 collide on link (2,3): genuinely infeasible.  At
+        # B=128 the slack makes every point schedulable.
+        by_bandwidth = {row.bandwidth: row for row in small_matrix}
+        assert by_bandwidth[128.0].feasible_count == 2
+        assert by_bandwidth[128.0].feasible_count >= (
+            by_bandwidth[64.0].feasible_count
+        )
+
+    def test_custom_allocator(self, cube3):
+        tfg = chain_tfg(4, 400, 1280)
+        rows = feasibility_matrix(
+            tfg, [cube3], [128.0], [1.0],
+            allocation=lambda t, topo: bfs_allocation(t, topo),
+        )
+        assert rows[0].verdicts == ("OK",)
+
+
+class TestFormatMatrix:
+    def test_renders_table(self, small_matrix):
+        text = format_matrix(small_matrix)
+        assert "SR feasibility matrix" in text
+        assert "0.50" in text and "1.00" in text
+        assert text.count("\n") >= 3
+
+    def test_empty(self):
+        assert "(empty matrix)" == format_matrix([])

@@ -1,0 +1,88 @@
+"""Unit tests for task-to-node allocation."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mapping import (
+    bfs_allocation,
+    communication_cost,
+    random_allocation,
+    sequential_allocation,
+    validate_allocation,
+)
+from repro.tfg import dvb_tfg
+
+
+class TestValidate:
+    def test_accepts_valid(self, tiny_tfg, cube3):
+        validate_allocation(tiny_tfg, cube3, {"t0": 0, "t1": 1, "t2": 2})
+
+    def test_missing_task(self, tiny_tfg, cube3):
+        with pytest.raises(AllocationError, match="not allocated"):
+            validate_allocation(tiny_tfg, cube3, {"t0": 0})
+
+    def test_unknown_task(self, tiny_tfg, cube3):
+        with pytest.raises(AllocationError, match="unknown"):
+            validate_allocation(
+                tiny_tfg, cube3, {"t0": 0, "t1": 1, "t2": 2, "ghost": 3}
+            )
+
+    def test_node_out_of_range(self, tiny_tfg, cube3):
+        with pytest.raises(AllocationError, match="placed on node"):
+            validate_allocation(tiny_tfg, cube3, {"t0": 0, "t1": 1, "t2": 8})
+
+    def test_exclusive_sharing_rejected(self, tiny_tfg, cube3):
+        shared = {"t0": 0, "t1": 0, "t2": 1}
+        with pytest.raises(AllocationError, match="shared"):
+            validate_allocation(tiny_tfg, cube3, shared)
+        validate_allocation(tiny_tfg, cube3, shared, exclusive=False)
+
+
+class TestAllocators:
+    def test_sequential_follows_topological_order(self, tiny_tfg, cube3):
+        allocation = sequential_allocation(tiny_tfg, cube3)
+        assert allocation == {"t0": 0, "t1": 1, "t2": 2}
+
+    def test_capacity_enforced(self, cube3):
+        big = dvb_tfg(2)  # 11 tasks > 8 nodes
+        with pytest.raises(AllocationError, match="do not fit"):
+            sequential_allocation(big, cube3)
+
+    def test_random_is_seeded(self, dvb5, cube6):
+        a = random_allocation(dvb5, cube6, seed=3)
+        b = random_allocation(dvb5, cube6, seed=3)
+        c = random_allocation(dvb5, cube6, seed=4)
+        assert a == b
+        assert a != c
+        validate_allocation(dvb5, cube6, a)
+
+    def test_bfs_is_valid_and_deterministic(self, dvb5, cube6):
+        a = bfs_allocation(dvb5, cube6)
+        b = bfs_allocation(dvb5, cube6)
+        assert a == b
+        validate_allocation(dvb5, cube6, a)
+
+    def test_bfs_places_neighbors_close(self, tiny_tfg, cube6):
+        allocation = bfs_allocation(tiny_tfg, cube6)
+        # A 3-task chain should map onto adjacent nodes on a rich topology.
+        assert cube6.distance(allocation["t0"], allocation["t1"]) == 1
+        assert cube6.distance(allocation["t1"], allocation["t2"]) == 1
+
+    def test_bfs_beats_random_on_communication_cost(self, dvb5, cube6):
+        bfs_cost = communication_cost(dvb5, cube6, bfs_allocation(dvb5, cube6))
+        random_cost = communication_cost(
+            dvb5, cube6, random_allocation(dvb5, cube6, seed=0)
+        )
+        assert bfs_cost < random_cost
+
+
+class TestCommunicationCost:
+    def test_zero_when_colocated_allowed(self, tiny_tfg, cube3):
+        allocation = {"t0": 0, "t1": 0, "t2": 0}
+        assert communication_cost(tiny_tfg, cube3, allocation) == 0.0
+
+    def test_weights_by_size_and_distance(self, diamond_tfg, cube3):
+        allocation = {"s": 0, "m1": 1, "m2": 3, "t": 7}
+        # a: 640 B x 1 hop; b: 1280 x 2; c: 640 x 2; d: 1280 x 1.
+        expected = 640 * 1 + 1280 * 2 + 640 * 2 + 1280 * 1
+        assert communication_cost(diamond_tfg, cube3, allocation) == expected

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated-annealing allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mapping import (
+    annealed_allocation,
+    communication_cost,
+    placement_congestion,
+    random_allocation,
+    sequential_allocation,
+    validate_allocation,
+)
+from repro.tfg import dvb_tfg
+from repro.tfg.synth import chain_tfg
+
+
+class TestPlacementCongestion:
+    def test_zero_when_colocated(self, cube3, tiny_tfg):
+        allocation = {"t0": 0, "t1": 0, "t2": 0}
+        assert placement_congestion(tiny_tfg, cube3, allocation) == 0.0
+
+    def test_counts_stacked_volume(self, cube3, tiny_tfg):
+        # Chain 0 -> 3 -> 1: m0 routes 0,1,3 and m1 routes 3,1 — link
+        # (1,3) carries both messages (1280 B each).
+        allocation = {"t0": 0, "t1": 3, "t2": 1}
+        assert placement_congestion(tiny_tfg, cube3, allocation) == 2560.0
+
+    def test_spread_placement_lowers_congestion(self, cube3, tiny_tfg):
+        stacked = {"t0": 0, "t1": 3, "t2": 1}
+        adjacent = {"t0": 0, "t1": 1, "t2": 3}
+        assert placement_congestion(tiny_tfg, cube3, adjacent) < (
+            placement_congestion(tiny_tfg, cube3, stacked)
+        )
+
+
+class TestAnnealedAllocation:
+    def test_valid_and_deterministic(self, dvb5, cube6):
+        a = annealed_allocation(dvb5, cube6, seed=1, iterations=600)
+        b = annealed_allocation(dvb5, cube6, seed=1, iterations=600)
+        assert a == b
+        validate_allocation(dvb5, cube6, a)
+
+    def test_different_seeds_explore(self, dvb5, cube6):
+        a = annealed_allocation(dvb5, cube6, seed=1, iterations=600)
+        b = annealed_allocation(dvb5, cube6, seed=2, iterations=600)
+        assert a != b  # overwhelmingly likely given the search space
+
+    def test_improves_over_sequential(self, dvb5, cube6):
+        annealed = annealed_allocation(dvb5, cube6, seed=0, iterations=2000)
+        baseline = sequential_allocation(dvb5, cube6)
+
+        def score(alloc):
+            return communication_cost(dvb5, cube6, alloc) + (
+                4.0 * placement_congestion(dvb5, cube6, alloc)
+            )
+
+        assert score(annealed) < score(baseline)
+
+    def test_improves_over_random(self, dvb5, cube6):
+        annealed = annealed_allocation(dvb5, cube6, seed=0, iterations=2000)
+        rand = random_allocation(dvb5, cube6, seed=0)
+        assert communication_cost(dvb5, cube6, annealed) < (
+            communication_cost(dvb5, cube6, rand)
+        )
+
+    def test_capacity_enforced(self, cube3):
+        with pytest.raises(AllocationError):
+            annealed_allocation(dvb_tfg(2), cube3, seed=0, iterations=10)
+
+    def test_tiny_case(self, cube3):
+        tfg = chain_tfg(2, 400, 1280)
+        allocation = annealed_allocation(tfg, cube3, seed=0, iterations=200)
+        validate_allocation(tfg, cube3, allocation)
+        # The two tasks of a chain should end up adjacent (cost 1280).
+        assert communication_cost(tfg, cube3, allocation) == 1280.0

@@ -1,0 +1,324 @@
+"""Unit tests for the discrete-event kernel: events, environment, processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+class TestEvent:
+    def test_lifecycle(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered and not event.processed
+        event.succeed(42)
+        assert event.triggered and not event.processed
+        env.run()
+        assert event.processed and event.ok and event.value == 42
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_unavailable_before_trigger(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_callback_after_processed_runs_immediately(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("x")
+        env.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        env = Environment()
+        timeout = env.timeout(5.0, value="done")
+        env.run()
+        assert env.now == 5.0
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_now(self):
+        env = Environment()
+        env.timeout(0.0)
+        env.run()
+        assert env.now == 0.0
+
+
+class TestEnvironment:
+    def test_fifo_order_of_simultaneous_events(self):
+        env = Environment()
+        order = []
+        for tag in ("a", "b", "c"):
+            env.timeout(1.0).add_callback(
+                lambda e, tag=tag: order.append(tag)
+            )
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_time_stops_clock_there(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def body(env):
+            yield env.timeout(3.0)
+            return "result"
+
+        process = env.process(body(env))
+        assert env.run(until=process) == "result"
+        assert env.now == 3.0
+
+    def test_run_until_event_never_fires_raises(self):
+        env = Environment()
+        orphan = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=orphan)
+
+    def test_run_into_past_rejected(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_step_on_empty_agenda_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(2.5)
+        assert env.peek() == 2.5
+
+    def test_initial_time(self):
+        env = Environment(initial_time=100.0)
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 105.0
+
+
+class TestProcess:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        trace = []
+
+        def body(env):
+            yield env.timeout(1.0)
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+
+        env.process(body(env))
+        env.run()
+        assert trace == [1.0, 3.0]
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(2.0)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + 1
+
+        top = env.process(parent(env))
+        assert env.run(until=top) == 100
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def body(env):
+            yield 42
+
+        process = env.process(body(env))
+        with pytest.raises(SimulationError):
+            env.run(until=process)
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def body(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        process = env.process(body(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=process)
+
+    def test_unwaited_failing_process_aborts_run(self):
+        env = Environment()
+
+        def body(env):
+            yield env.timeout(1.0)
+            raise ValueError("silent failure surfaced")
+
+        env.process(body(env))
+        with pytest.raises(ValueError, match="surfaced"):
+            env.run()
+
+    def test_failed_event_throws_into_waiter(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def body(env):
+            try:
+                yield gate
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        env.process(body(env))
+
+        def failer(env):
+            yield env.timeout(1.0)
+            gate.fail(RuntimeError("bad gate"))
+
+        env.process(failer(env))
+        env.run()
+        assert caught == ["bad gate"]
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        victim = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(3.0)
+            victim.interrupt(cause="wake")
+
+        env.process(interrupter(env))
+        env.run()
+        assert log == [(3.0, "wake")]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def body(env):
+            yield env.timeout(1.0)
+
+        process = env.process(body(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_process_is_alive(self):
+        env = Environment()
+
+        def body(env):
+            yield env.timeout(1.0)
+
+        process = env.process(body(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        done = env.all_of([t1, t2])
+
+        def body(env):
+            result = yield done
+            return (env.now, sorted(result.values()))
+
+        process = env.process(body(env))
+        assert env.run(until=process) == (5.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+
+        def body(env):
+            result = yield env.any_of([t1, t2])
+            return (env.now, list(result.values()))
+
+        process = env.process(body(env))
+        assert env.run(until=process) == (1.0, ["fast"])
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        done = env.all_of([])
+        assert done.triggered
+
+    def test_all_of_with_already_fired_events(self):
+        env = Environment()
+        t1 = env.timeout(1.0)
+        env.run()
+        done = env.all_of([t1, env.timeout(2.0)])
+
+        def body(env):
+            yield done
+            return env.now
+
+        process = env.process(body(env))
+        assert env.run(until=process) == 3.0
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1.0)
+            bad.fail(RuntimeError("child failed"))
+
+        env.process(failer(env))
+
+        def body(env):
+            yield env.all_of([bad, env.timeout(10.0)])
+
+        process = env.process(body(env))
+        with pytest.raises(RuntimeError, match="child failed"):
+            env.run(until=process)
+
+    def test_condition_rejects_foreign_events(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [Event(env2)])

@@ -1,0 +1,124 @@
+"""Unit tests for the task-flow graph data model."""
+
+import pytest
+
+from repro.errors import TFGError
+from repro.tfg import Message, Task, TaskFlowGraph
+from repro.tfg.graph import build_tfg
+
+
+class TestTaskAndMessage:
+    def test_task_validation(self):
+        with pytest.raises(TFGError):
+            Task("", 10)
+        with pytest.raises(TFGError):
+            Task("t", 0)
+        with pytest.raises(TFGError):
+            Task("t", -5)
+
+    def test_message_validation(self):
+        with pytest.raises(TFGError):
+            Message("", "a", "b", 64)
+        with pytest.raises(TFGError):
+            Message("m", "a", "a", 64)  # self-message
+        with pytest.raises(TFGError):
+            Message("m", "a", "b", 0)
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        tfg = TaskFlowGraph()
+        tfg.add_task("t", 10)
+        with pytest.raises(TFGError):
+            tfg.add_task("t", 20)
+
+    def test_duplicate_message_rejected(self):
+        tfg = TaskFlowGraph()
+        tfg.add_task("a", 10)
+        tfg.add_task("b", 10)
+        tfg.add_message("m", "a", "b", 64)
+        with pytest.raises(TFGError):
+            tfg.add_message("m", "a", "b", 64)
+
+    def test_message_needs_existing_tasks(self):
+        tfg = TaskFlowGraph()
+        tfg.add_task("a", 10)
+        with pytest.raises(TFGError):
+            tfg.add_message("m", "a", "ghost", 64)
+
+    def test_parallel_messages_allowed(self):
+        # Identical payloads to different destinations are distinct; two
+        # messages between the same pair are also allowed.
+        tfg = TaskFlowGraph()
+        tfg.add_task("a", 10)
+        tfg.add_task("b", 10)
+        tfg.add_message("m1", "a", "b", 64)
+        tfg.add_message("m2", "a", "b", 64)
+        assert tfg.num_messages == 2
+
+    def test_lookup_errors(self, tiny_tfg):
+        with pytest.raises(TFGError):
+            tiny_tfg.task("nope")
+        with pytest.raises(TFGError):
+            tiny_tfg.message("nope")
+
+
+class TestStructure:
+    def test_inputs_outputs(self, diamond_tfg):
+        assert [t.name for t in diamond_tfg.input_tasks] == ["s"]
+        assert [t.name for t in diamond_tfg.output_tasks] == ["t"]
+
+    def test_in_out_edges(self, diamond_tfg):
+        assert {m.name for m in diamond_tfg.messages_out("s")} == {"a", "b"}
+        assert {m.name for m in diamond_tfg.messages_in("t")} == {"c", "d"}
+        assert diamond_tfg.messages_in("s") == ()
+        assert diamond_tfg.messages_out("t") == ()
+
+    def test_predecessors_successors(self, diamond_tfg):
+        assert {t.name for t in diamond_tfg.successors("s")} == {"m1", "m2"}
+        assert {t.name for t in diamond_tfg.predecessors("t")} == {"m1", "m2"}
+
+    def test_topological_order(self, diamond_tfg):
+        order = diamond_tfg.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for message in diamond_tfg.messages:
+            assert position[message.src] < position[message.dst]
+
+    def test_cycle_detected(self):
+        tfg = TaskFlowGraph("cyclic")
+        for name in ("a", "b", "c"):
+            tfg.add_task(name, 10)
+        tfg.add_message("m1", "a", "b", 64)
+        tfg.add_message("m2", "b", "c", 64)
+        tfg.add_message("m3", "c", "a", 64)
+        with pytest.raises(TFGError, match="cycle"):
+            tfg.validate()
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(TFGError):
+            TaskFlowGraph().validate()
+
+    def test_precedes_is_transitive_closure(self, tiny_tfg):
+        assert tiny_tfg.precedes("t0", "t2")
+        assert tiny_tfg.precedes("t0", "t1")
+        assert not tiny_tfg.precedes("t2", "t0")
+        assert not tiny_tfg.precedes("t0", "t0")
+
+    def test_topo_cache_invalidated_on_mutation(self, tiny_tfg):
+        first = tiny_tfg.topological_order()
+        tiny_tfg.add_task("extra", 5)
+        assert "extra" in tiny_tfg.topological_order()
+        assert len(tiny_tfg.topological_order()) == len(first) + 1
+
+
+class TestBuildTfg:
+    def test_roundtrip(self):
+        tfg = build_tfg(
+            "x", [("a", 1), ("b", 2)], [("m", "a", "b", 10)]
+        )
+        assert tfg.num_tasks == 2
+        assert tfg.message("m").size_bytes == 10.0
+
+    def test_validates(self):
+        with pytest.raises(TFGError):
+            build_tfg("x", [("a", 1)], [("m", "a", "missing", 10)])

@@ -1,0 +1,60 @@
+"""Unit tests for the radar workload."""
+
+import pytest
+
+from repro.errors import TFGError
+from repro.tfg import TFGTiming
+from repro.tfg.radar import MATRIX_BLOCK, radar_tfg
+
+
+class TestRadarStructure:
+    def test_counts(self):
+        for n in (1, 4, 8):
+            tfg = radar_tfg(n)
+            assert tfg.num_tasks == 4 + 3 * n
+            assert tfg.num_messages == 3 + 4 * n
+            tfg.validate()
+
+    def test_single_input_output(self):
+        tfg = radar_tfg(3)
+        assert [t.name for t in tfg.input_tasks] == ["adc"]
+        assert [t.name for t in tfg.output_tasks] == ["track"]
+
+    def test_channels_are_parallel(self):
+        tfg = radar_tfg(3)
+        assert not tfg.precedes("beam0", "beam1")
+        assert tfg.precedes("beam0", "cfar")
+        assert tfg.precedes("adc", "track")
+
+    def test_clutter_side_chain(self):
+        tfg = radar_tfg(2)
+        assert tfg.message("cl_in").src == "adc"
+        assert tfg.message("cl_out").dst == "cfar"
+        assert not tfg.precedes("clutter", "beam0")
+
+    def test_corner_turn_dominates(self):
+        tfg = radar_tfg(4)
+        assert max(m.size_bytes for m in tfg.messages) == MATRIX_BLOCK
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(TFGError):
+            radar_tfg(0)
+
+
+class TestRadarTiming:
+    def test_pipelines_cleanly(self):
+        tfg = radar_tfg(4)
+        timing = TFGTiming(tfg, bandwidth=128.0, speeds=25.0)
+        assert timing.tau_m == pytest.approx(16.0)
+        schedule = timing.asap_schedule()
+        # All dopplers finish simultaneously (symmetric channels).
+        finishes = {schedule[f"doppler{c}"][1] for c in range(4)}
+        assert len(finishes) == 1
+
+    def test_critical_path_runs_through_a_channel(self):
+        tfg = radar_tfg(4)
+        timing = TFGTiming(tfg, bandwidth=128.0, speeds=25.0)
+        elements = timing.critical_path().elements
+        assert elements[0] == "adc"
+        assert elements[-1] == "track"
+        assert any("doppler" in e for e in elements)

@@ -1,0 +1,79 @@
+"""Unit tests for topology structural analysis."""
+
+import pytest
+
+from repro.topology import GeneralizedHypercube, Mesh, Torus, binary_hypercube
+from repro.topology.analysis import (
+    average_distance,
+    bisection_width,
+    diameter,
+    summarize,
+)
+
+
+class TestDiameter:
+    def test_hypercube(self):
+        assert diameter(binary_hypercube(3)) == 3
+        assert diameter(binary_hypercube(6)) == 6
+
+    def test_ghc_is_dimension_count(self):
+        # Any digit corrects in one hop: diameter = number of dimensions.
+        assert diameter(GeneralizedHypercube((4, 4, 4))) == 3
+
+    def test_torus(self):
+        assert diameter(Torus((8, 8))) == 8          # 4 + 4
+        assert diameter(Torus((4, 4, 4))) == 6       # 2 + 2 + 2
+
+    def test_mesh(self):
+        assert diameter(Mesh((4, 4))) == 6           # corner to corner
+
+
+class TestAverageDistance:
+    def test_hypercube_closed_form(self):
+        # Mean Hamming distance over nonzero vectors: n * 2^(n-1) / (2^n - 1).
+        n = 4
+        expected = n * 2 ** (n - 1) / (2 ** n - 1)
+        assert average_distance(binary_hypercube(n)) == pytest.approx(expected)
+
+    def test_single_node_edge_case(self):
+        # Smallest legal topology (one dimension of radix 2).
+        assert average_distance(binary_hypercube(1)) == 1.0
+
+    def test_mesh_vs_torus(self):
+        # Wraparound strictly shrinks the average distance.
+        assert average_distance(Torus((4, 4))) < average_distance(Mesh((4, 4)))
+
+
+class TestBisectionWidth:
+    def test_hypercube(self):
+        # Splitting on the top bit cuts exactly 2^(n-1) links.
+        assert bisection_width(binary_hypercube(6)) == 32
+        assert bisection_width(binary_hypercube(3)) == 4
+
+    def test_torus_wraparound_doubles(self):
+        # 8x8 torus split along the top dimension: 8 columns x 2 crossings.
+        assert bisection_width(Torus((8, 8))) == 16
+
+    def test_mesh(self):
+        # 4x4 mesh: 4 links cross the middle.
+        assert bisection_width(Mesh((4, 4))) == 4
+
+    def test_ghc_complete_dimension(self):
+        # GHC(4,4): top digit {0,1} vs {2,3}; each node pairs with 2
+        # opposite digits -> 16 nodes... count: 4 columns x (2x2) = 16.
+        assert bisection_width(GeneralizedHypercube((4, 4))) == 16
+
+
+class TestSummarize:
+    def test_summary_fields(self, ghc444):
+        summary = summarize(ghc444)
+        assert summary.name == "GHC(4,4,4)"
+        assert summary.num_nodes == 64
+        assert summary.num_links == 288
+        assert summary.degree_min == summary.degree_max == 9
+        assert summary.diameter == 3
+
+    def test_mesh_degree_range(self, mesh44):
+        summary = summarize(mesh44)
+        assert summary.degree_min == 2
+        assert summary.degree_max == 4

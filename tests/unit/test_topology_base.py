@@ -1,0 +1,177 @@
+"""Unit tests for topology addressing and the shared base machinery."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    GeneralizedHypercube,
+    Mesh,
+    Torus,
+    binary_hypercube,
+    link_between,
+)
+
+
+class TestLink:
+    def test_canonical_order(self):
+        assert link_between(5, 3) == (3, 5)
+        assert link_between(3, 5) == (3, 5)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            link_between(4, 4)
+
+
+class TestAddressing:
+    def test_roundtrip_all_nodes(self, ghc444):
+        for node in range(ghc444.num_nodes):
+            assert ghc444.node_at(ghc444.address(node)) == node
+
+    def test_lsd_first(self):
+        topo = GeneralizedHypercube((4, 2))
+        # node 5 = 1 + 1*4: digit0 (radix 4) = 1, digit1 (radix 2) = 1
+        assert topo.address(5) == (1, 1)
+        assert topo.address(3) == (3, 0)
+
+    def test_mixed_radix(self):
+        topo = Torus((3, 5))
+        assert topo.num_nodes == 15
+        assert topo.address(7) == (1, 2)
+        assert topo.node_at((1, 2)) == 7
+
+    def test_bad_node_rejected(self, cube3):
+        with pytest.raises(TopologyError):
+            cube3.address(8)
+        with pytest.raises(TopologyError):
+            cube3.address(-1)
+
+    def test_bad_address_rejected(self, cube3):
+        with pytest.raises(TopologyError):
+            cube3.node_at((2, 0, 0))
+        with pytest.raises(TopologyError):
+            cube3.node_at((0, 0))  # wrong dimension count
+
+    def test_radix_validation(self):
+        with pytest.raises(TopologyError):
+            GeneralizedHypercube(())
+        with pytest.raises(TopologyError):
+            GeneralizedHypercube((4, 1))
+
+
+class TestStructure:
+    def test_paper_topologies_are_64_nodes(self, cube6, ghc444, torus88):
+        assert cube6.num_nodes == 64
+        assert ghc444.num_nodes == 64
+        assert torus88.num_nodes == 64
+        assert Torus((4, 4, 4)).num_nodes == 64
+
+    def test_link_counts(self, cube6, ghc444, torus88):
+        # 6-cube: 64*6/2; GHC(4,4,4): 64*9/2; 8x8 torus: 64*4/2.
+        assert cube6.num_links == 192
+        assert ghc444.num_links == 288
+        assert torus88.num_links == 128
+        assert Torus((4, 4, 4)).num_links == 192
+
+    def test_links_are_canonical_and_unique(self, ghc444):
+        links = ghc444.links
+        assert len(set(links)) == len(links)
+        assert all(u < v for u, v in links)
+        assert links == tuple(sorted(links))
+
+    def test_adjacency_is_symmetric(self, torus44):
+        for u in range(torus44.num_nodes):
+            for v in torus44.neighbors(u):
+                assert u in torus44.neighbors(v)
+
+    def test_are_adjacent(self, cube3):
+        assert cube3.are_adjacent(0, 1)
+        assert not cube3.are_adjacent(0, 3)  # differs in two bits
+
+    def test_bfs_distance_matches_closed_form(self, torus44):
+        # Exercise the generic BFS against the torus closed form.
+        from repro.topology.base import Topology
+
+        for u in range(torus44.num_nodes):
+            for v in range(torus44.num_nodes):
+                assert Topology.distance(torus44, u, v) == torus44.distance(u, v)
+
+    def test_equality_and_hash(self):
+        assert binary_hypercube(3) == binary_hypercube(3)
+        assert binary_hypercube(3) != binary_hypercube(4)
+        assert GeneralizedHypercube((4, 4)) != Torus((4, 4))
+        assert hash(binary_hypercube(3)) == hash(binary_hypercube(3))
+
+    def test_repr_mentions_name(self, ghc444):
+        assert "GHC(4,4,4)" in repr(ghc444)
+
+
+class TestGHC:
+    def test_degree(self, ghc444, cube6):
+        # GHC degree = sum of (radix - 1).
+        assert all(ghc444.degree(n) == 9 for n in range(0, 64, 7))
+        assert all(cube6.degree(n) == 6 for n in range(0, 64, 7))
+
+    def test_neighbors_differ_in_one_digit(self, ghc444):
+        for node in (0, 21, 63):
+            addr = ghc444.address(node)
+            for neighbor in ghc444.neighbors(node):
+                diff = [
+                    i for i, (a, b)
+                    in enumerate(zip(addr, ghc444.address(neighbor)))
+                    if a != b
+                ]
+                assert len(diff) == 1
+
+    def test_distance_is_hamming(self, ghc444):
+        # 0=(0,0,0) to 63=(3,3,3): three differing digits.
+        assert ghc444.distance(0, 63) == 3
+        assert ghc444.distance(0, 3) == 1  # single-digit change, any amount
+        assert ghc444.distance(0, 0) == 0
+
+    def test_binary_hypercube_is_all_twos(self):
+        cube = binary_hypercube(4)
+        assert cube.radices == (2, 2, 2, 2)
+        with pytest.raises(TopologyError):
+            binary_hypercube(0)
+
+
+class TestTorus:
+    def test_degree(self, torus88):
+        assert all(torus88.degree(n) == 4 for n in range(64))
+
+    def test_radix2_ring_degree(self):
+        # +1 and -1 coincide on a 2-ring: no duplicate neighbors.
+        topo = Torus((2, 4))
+        assert topo.degree(0) == 3
+
+    def test_wraparound_distance(self, torus88):
+        # (0,0) to (7,0): one hop around the ring.
+        assert torus88.distance(0, 7) == 1
+        # (0,0) to (4,0): half-ring, 4 hops either way.
+        assert torus88.distance(0, 4) == 4
+
+    def test_distance_sums_dimensions(self):
+        topo = Torus((4, 4, 4))
+        a = topo.node_at((0, 0, 0))
+        b = topo.node_at((2, 1, 3))
+        assert topo.distance(a, b) == 2 + 1 + 1
+
+
+class TestMesh:
+    def test_corner_edge_center_degrees(self, mesh44):
+        corner = mesh44.node_at((0, 0))
+        edge = mesh44.node_at((1, 0))
+        center = mesh44.node_at((1, 1))
+        assert mesh44.degree(corner) == 2
+        assert mesh44.degree(edge) == 3
+        assert mesh44.degree(center) == 4
+
+    def test_no_wraparound(self, mesh44):
+        first = mesh44.node_at((0, 0))
+        last = mesh44.node_at((3, 0))
+        assert not mesh44.are_adjacent(first, last)
+        assert mesh44.distance(first, last) == 3
+
+    def test_link_count(self, mesh44):
+        # 4x4 mesh: 2 * 4 * 3 = 24 links.
+        assert mesh44.num_links == 24

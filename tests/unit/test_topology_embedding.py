@@ -1,0 +1,105 @@
+"""Unit tests for Hamiltonian-path embeddings and the ring allocator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.mapping import communication_cost, validate_allocation
+from repro.topology import GeneralizedHypercube, Mesh, Torus, binary_hypercube
+from repro.topology.base import Topology
+from repro.topology.embedding import (
+    hamiltonian_path,
+    mixed_radix_gray,
+    ring_allocation,
+)
+from repro.tfg.synth import chain_tfg
+
+
+def assert_hamiltonian(topology, path):
+    assert sorted(path) == list(range(topology.num_nodes))
+    for u, v in zip(path, path[1:]):
+        assert topology.are_adjacent(u, v), f"{u} !~ {v}"
+
+
+class TestGrayCode:
+    def test_binary_gray(self):
+        assert mixed_radix_gray((2, 2)) == [
+            (0, 0), (1, 0), (1, 1), (0, 1),
+        ]
+
+    def test_single_digit_change(self):
+        for radices in ((2, 2, 2), (3, 4), (4, 4, 4), (5,)):
+            codes = mixed_radix_gray(radices)
+            assert len(codes) == len(set(codes))
+            for a, b in zip(codes, codes[1:]):
+                differing = sum(1 for x, y in zip(a, b) if x != y)
+                assert differing == 1
+
+    def test_covers_all_codes(self):
+        codes = mixed_radix_gray((3, 2, 2))
+        assert len(codes) == 12
+        assert len(set(codes)) == 12
+
+
+class TestHamiltonianPath:
+    @pytest.mark.parametrize("topology", [
+        binary_hypercube(3),
+        binary_hypercube(6),
+        GeneralizedHypercube((4, 4, 4)),
+        GeneralizedHypercube((3, 5)),
+        Torus((8, 8)),
+        Torus((4, 4, 4)),
+        Torus((3, 3)),
+        Mesh((4, 4)),
+        Mesh((5, 3)),
+    ], ids=lambda t: t.name)
+    def test_path_is_hamiltonian(self, topology):
+        assert_hamiltonian(topology, hamiltonian_path(topology))
+
+    def test_unsupported_family_rejected(self):
+        class Exotic(Topology):
+            def neighbors(self, node):  # pragma: no cover - stub
+                return ()
+
+        with pytest.raises(TopologyError):
+            hamiltonian_path(Exotic((2, 2), name="Exotic"))
+
+
+class TestRingAllocation:
+    def test_chain_becomes_all_single_hop(self, cube6):
+        tfg = chain_tfg(20, ops=400, size_bytes=1024)
+        allocation = ring_allocation(tfg, cube6)
+        validate_allocation(tfg, cube6, allocation)
+        for message in tfg.messages:
+            assert cube6.distance(
+                allocation[message.src], allocation[message.dst]
+            ) == 1
+
+    def test_beats_sequential_on_chains(self, cube6):
+        from repro.mapping import sequential_allocation
+
+        tfg = chain_tfg(30, ops=400, size_bytes=1024)
+        ring_cost = communication_cost(tfg, cube6, ring_allocation(tfg, cube6))
+        seq_cost = communication_cost(
+            tfg, cube6, sequential_allocation(tfg, cube6)
+        )
+        assert ring_cost < seq_cost
+
+    def test_capacity_enforced(self, cube3):
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            ring_allocation(chain_tfg(9), cube3)
+
+    def test_chain_pipeline_schedules_at_max_rate(self, cube6):
+        """A ring-embedded chain is the friendliest case for SR: fully
+        schedulable at the maximum input rate."""
+        from repro.core.compiler import compile_schedule
+        from repro.tfg import TFGTiming
+
+        tfg = chain_tfg(16, ops=400, size_bytes=1280)
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        allocation = ring_allocation(tfg, cube6)
+        routing = compile_schedule(
+            timing, cube6, allocation, tau_in=timing.tau_c
+        )
+        assert routing.utilization.feasible

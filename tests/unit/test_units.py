@@ -1,0 +1,63 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestTransmissionTime:
+    def test_basic_division(self):
+        assert units.transmission_time(3200.0, 64.0) == 50.0
+
+    def test_paper_bandwidths(self):
+        # The paper's two operating points for the longest DVB message.
+        assert units.transmission_time(3200.0, 64.0) == 50.0
+        assert units.transmission_time(3200.0, 128.0) == 25.0
+
+    def test_zero_size_is_zero_time(self):
+        assert units.transmission_time(0.0, 64.0) == 0.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100.0, 0.0)
+        with pytest.raises(ValueError):
+            units.transmission_time(100.0, -5.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(-1.0, 64.0)
+
+
+class TestComparisons:
+    def test_close_within_eps(self):
+        assert units.close(1.0, 1.0 + units.EPS / 2)
+        assert not units.close(1.0, 1.0 + 10 * units.EPS)
+
+    def test_le_tolerant(self):
+        assert units.le(1.0 + units.EPS / 2, 1.0)
+        assert not units.le(1.0 + 1e-3, 1.0)
+
+    def test_lt_strict(self):
+        assert units.lt(0.9, 1.0)
+        assert not units.lt(1.0, 1.0)
+        assert not units.lt(1.0 - units.EPS / 2, 1.0)
+
+
+class TestWrap:
+    def test_identity_inside_frame(self):
+        assert units.wrap(30.0, 100.0) == 30.0
+
+    def test_reduces_multiples(self):
+        assert units.wrap(230.0, 100.0) == 30.0
+        assert units.wrap(1030.0, 100.0) == 30.0
+
+    def test_exact_period_wraps_to_zero(self):
+        assert units.wrap(100.0, 100.0) == 0.0
+        assert units.wrap(300.0, 100.0) == 0.0
+
+    def test_near_period_snaps_to_zero(self):
+        assert units.wrap(100.0 - units.EPS / 10, 100.0) == 0.0
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            units.wrap(5.0, 0.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the static OI-risk predictor."""
+
+import pytest
+
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.tfg.synth import chain_tfg
+from repro.wormhole import WormholeSimulator
+from repro.wormhole.analysis import predict_oi_risks
+
+
+@pytest.fixture()
+def claim_case(cube3):
+    tfg = build_tfg(
+        "claim3",
+        [("t0", 400), ("t1", 400), ("t2", 400)],
+        [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    allocation = {"t0": 0, "t1": 3, "t2": 1}
+    return timing, cube3, allocation
+
+
+class TestPredictor:
+    def test_claim_conditions_detected_at_tight_period(self, claim_case):
+        timing, topo, allocation = claim_case
+        risks = predict_oi_risks(timing, topo, allocation, tau_in=21.0)
+        assert risks
+        risk = risks[0]
+        # M2 (invocation j) holds link (1,3) when M1 (j+1) arrives.
+        assert risk.holder == "M2"
+        assert risk.blocked == "M1"
+        assert risk.link == (1, 3)
+        assert risk.busy_from < risk.available_at < risk.busy_until
+
+    def test_no_risk_when_invocations_cannot_interact(self, claim_case):
+        timing, topo, allocation = claim_case
+        assert predict_oi_risks(timing, topo, allocation, tau_in=60.0) == []
+
+    def test_local_messages_excluded(self, cube3):
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 0, "t2": 0}
+        assert predict_oi_risks(timing, cube3, allocation, tau_in=15.0) == []
+
+    def test_disjoint_routes_no_risk(self, cube3):
+        timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3, "t3": 7}
+        # Consecutive chain hops on disjoint links: no shared link at all.
+        assert predict_oi_risks(timing, cube3, allocation, tau_in=11.0) == []
+
+    def test_deterministic_ordering(self, claim_case):
+        timing, topo, allocation = claim_case
+        a = predict_oi_risks(timing, topo, allocation, tau_in=15.0)
+        b = predict_oi_risks(timing, topo, allocation, tau_in=15.0)
+        assert a == b
+
+
+class TestPredictionVsSimulation:
+    @pytest.mark.parametrize("tau_in", [12.0, 16.0, 21.0, 60.0])
+    def test_prediction_is_sound_on_claim_case(self, claim_case, tau_in):
+        """Soundness: a predicted first-order risk always manifests as
+        simulated OI on the two-message construction.  (The converse
+        fails by design: at tau_in = 16 the baseline instants just miss,
+        but second-order drift — contention shifting the timetable —
+        still produces OI.  The predictor is a screen, not an oracle.)"""
+        timing, topo, allocation = claim_case
+        predicted = bool(
+            predict_oi_risks(timing, topo, allocation, tau_in)
+        )
+        simulated = WormholeSimulator(timing, topo, allocation).run(
+            tau_in, invocations=30, warmup=6
+        ).has_oi()
+        if predicted:
+            assert simulated
+
+    def test_prediction_boundaries_on_claim_case(self, claim_case):
+        """Exactness where first-order reasoning suffices: predicted at
+        the tight periods, silent at the non-interacting one."""
+        timing, topo, allocation = claim_case
+        assert predict_oi_risks(timing, topo, allocation, 12.0)
+        assert predict_oi_risks(timing, topo, allocation, 21.0)
+        assert not predict_oi_risks(timing, topo, allocation, 60.0)
+
+    def test_dvb_predictions_flag_simulated_oi_loads(self, dvb_setup_128):
+        """On the DVB, predicted risk is a useful screen: the high-load
+        points that simulate with OI are all flagged."""
+        setup = dvb_setup_128
+        for load in (0.84, 1.0):
+            tau_in = setup.tau_in_for_load(load)
+            risks = predict_oi_risks(
+                setup.timing, setup.topology, setup.allocation, tau_in
+            )
+            result = WormholeSimulator(
+                setup.timing, setup.topology, setup.allocation
+            ).run(tau_in, invocations=36, warmup=8)
+            if result.has_oi():
+                assert risks

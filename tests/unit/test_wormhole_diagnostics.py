@@ -1,0 +1,54 @@
+"""Unit tests for wormhole contention diagnostics (link wait accounting)."""
+
+import pytest
+
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.tfg.synth import chain_tfg
+from repro.wormhole import WormholeSimulator
+
+
+class TestLinkWaits:
+    def test_uncontended_run_has_no_waits(self, cube3):
+        timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3, "t3": 7}
+        result = WormholeSimulator(timing, cube3, allocation).run(
+            40.0, invocations=10, warmup=2
+        )
+        assert result.extra["link_waits"] == {}
+
+    def test_contended_link_identified(self, cube3):
+        """The CLAIM3 construction: all blocking happens on link (1,3),
+        and the diagnostic pins it."""
+        tfg = build_tfg(
+            "claim3",
+            [("t0", 400), ("t1", 400), ("t2", 400)],
+            [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        result = WormholeSimulator(
+            timing, cube3, {"t0": 0, "t1": 3, "t2": 1}
+        ).run(tau_in=21.0, invocations=30, warmup=6)
+        waits = result.extra["link_waits"]
+        assert waits
+        hottest = max(waits, key=waits.get)
+        assert hottest == (1, 3)
+
+    def test_wait_magnitude_reflects_contention(self, cube3):
+        tfg = build_tfg(
+            "claim3",
+            [("t0", 400), ("t1", 400), ("t2", 400)],
+            [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 3, "t2": 1}
+        tight = WormholeSimulator(timing, cube3, allocation).run(
+            tau_in=21.0, invocations=30, warmup=6
+        )
+        relaxed = WormholeSimulator(timing, cube3, allocation).run(
+            tau_in=60.0, invocations=30, warmup=6
+        )
+        tight_total = sum(tight.extra["link_waits"].values())
+        relaxed_total = sum(relaxed.extra["link_waits"].values())
+        assert tight_total > relaxed_total
+        assert relaxed_total == pytest.approx(0.0)

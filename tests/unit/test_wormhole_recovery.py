@@ -1,0 +1,103 @@
+"""Unit tests for wormhole deadlock detection and recovery on tori.
+
+Dimension-ordered acquisition over half-duplex links is cycle-free on
+generalized hypercubes but not on torus rings: two messages traversing one
+ring in opposite directions form a two-party hold-and-wait cycle.  The
+simulator must detect the cycle, abort one member, and finish the run.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.topology import Torus
+from repro.wormhole import WormholeSimulator
+from repro.wormhole.simulator import _find_cycle
+
+
+@pytest.fixture()
+def opposing_pair():
+    """Two messages crossing an 8-ring in opposite directions.
+
+    m1: node 0 -> 3 (rightward over links (0,1),(1,2),(2,3));
+    m2: node 3 -> 0 (leftward over the same links in reverse order).
+    Released simultaneously, they deadlock after one hop each.
+    """
+    tfg = build_tfg(
+        "oppose",
+        [("a", 400), ("b", 400), ("x", 400), ("y", 400)],
+        [("m1", "a", "b", 1280), ("m2", "x", "y", 1280)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    topology = Torus((8,))
+    allocation = {"a": 0, "b": 3, "x": 3, "y": 0}
+    return timing, topology, allocation
+
+
+class TestRecovery:
+    def test_opposing_ring_traffic_recovers(self, opposing_pair):
+        timing, topology, allocation = opposing_pair
+        simulator = WormholeSimulator(timing, topology, allocation)
+        result = simulator.run(tau_in=100.0, invocations=10, warmup=2)
+        assert result.extra["recoveries"] >= 1
+        assert len(result.completion_times) == 10
+
+    def test_recovery_budget_exhaustion_raises(self, opposing_pair):
+        timing, topology, allocation = opposing_pair
+        simulator = WormholeSimulator(timing, topology, allocation)
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulator.run(tau_in=100.0, invocations=10, warmup=2,
+                          max_recoveries=0)
+
+    def test_hypercube_never_recovers(self, cube6, dvb5):
+        """Ascending-dimension acquisition over shared links is provably
+        cycle-free on GHCs: recovery count must be zero."""
+        from repro.experiments import standard_setup
+
+        setup = standard_setup(dvb5, cube6, 128.0)
+        simulator = WormholeSimulator(
+            setup.timing, setup.topology, setup.allocation
+        )
+        result = simulator.run(
+            setup.tau_in_for_load(0.8), invocations=16, warmup=4
+        )
+        assert result.extra["recoveries"] == 0
+
+    def test_aborted_message_still_delivered(self, opposing_pair):
+        """Recovery must not lose messages: every invocation completes,
+        which requires every aborted flight to eventually deliver."""
+        timing, topology, allocation = opposing_pair
+        simulator = WormholeSimulator(timing, topology, allocation)
+        result = simulator.run(tau_in=60.0, invocations=12, warmup=2)
+        completions = result.completion_times
+        assert all(b > a for a, b in zip(completions, completions[1:]))
+
+
+class TestFindCycle:
+    def test_simple_cycle(self):
+        graph = {1: {2}, 2: {3}, 3: {1}}
+        cycle = _find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3}
+
+    def test_self_loop_excluded_by_construction(self):
+        # The wait-for builder never adds self-edges; a DAG has no cycle.
+        graph = {1: {2}, 2: {3}, 3: set()}
+        assert _find_cycle(graph) is None
+
+    def test_cycle_in_second_component(self):
+        graph = {1: set(), 2: {3}, 3: {4}, 4: {2}}
+        cycle = _find_cycle(graph)
+        assert set(cycle) == {2, 3, 4}
+
+    def test_two_cycles_deterministic(self):
+        graph = {1: {2}, 2: {1}, 3: {4}, 4: {3}}
+        assert set(_find_cycle(graph)) == {1, 2}
+
+    def test_edges_to_unknown_nodes_ignored(self):
+        graph = {1: {99}, 2: {1}}
+        assert _find_cycle(graph) is None
+
+    def test_empty(self):
+        assert _find_cycle({}) is None

@@ -1,0 +1,85 @@
+"""Unit tests for the store-and-forward baseline."""
+
+import pytest
+
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.tfg.synth import chain_tfg
+from repro.topology import Torus
+from repro.wormhole import StoreAndForwardSimulator, WormholeSimulator
+
+
+class TestLatencySemantics:
+    def test_multihop_pays_per_hop(self, cube3):
+        """Uncontended 3-hop message: SAF takes 3x the transmission time
+        where wormhole takes ~1x."""
+        tfg = build_tfg(
+            "hop3", [("a", 400), ("b", 400)], [("m", "a", "b", 1280)]
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        allocation = {"a": 0, "b": 7}  # distance 3 on the 3-cube
+        saf = StoreAndForwardSimulator(timing, cube3, allocation).run(
+            60.0, invocations=10, warmup=2
+        )
+        wormhole = WormholeSimulator(timing, cube3, allocation).run(
+            60.0, invocations=10, warmup=2
+        )
+        # exec 10 + transfer + exec 10.
+        assert wormhole.latencies[0] == pytest.approx(10 + 10 + 10)
+        assert saf.latencies[0] == pytest.approx(10 + 3 * 10 + 10)
+
+    def test_single_hop_identical_to_wormhole(self, cube3):
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3}  # all adjacent hops
+        saf = StoreAndForwardSimulator(timing, cube3, allocation).run(
+            40.0, invocations=10, warmup=2
+        )
+        wormhole = WormholeSimulator(timing, cube3, allocation).run(
+            40.0, invocations=10, warmup=2
+        )
+        assert saf.completion_times == wormhole.completion_times
+
+
+class TestDeadlockFreedom:
+    def test_opposing_ring_traffic_never_deadlocks(self):
+        """The configuration that forces wormhole abort-and-retry is
+        handled by SAF without a single recovery."""
+        tfg = build_tfg(
+            "oppose",
+            [("a", 400), ("b", 400), ("x", 400), ("y", 400)],
+            [("m1", "a", "b", 1280), ("m2", "x", "y", 1280)],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        topology = Torus((8,))
+        allocation = {"a": 0, "b": 3, "x": 3, "y": 0}
+        result = StoreAndForwardSimulator(timing, topology, allocation).run(
+            tau_in=100.0, invocations=10, warmup=2, max_recoveries=0
+        )
+        assert result.extra["recoveries"] == 0
+        assert len(result.completion_times) == 10
+
+    def test_dvb_on_torus_without_recovery(self, dvb5):
+        from repro.experiments import standard_setup
+
+        setup = standard_setup(dvb5, Torus((8, 8)), 128.0)
+        result = StoreAndForwardSimulator(
+            setup.timing, setup.topology, setup.allocation
+        ).run(setup.tau_in_for_load(0.5), invocations=16, warmup=4,
+              max_recoveries=0)
+        assert result.extra["recoveries"] == 0
+
+
+class TestOiPersists:
+    def test_saf_still_shows_oi_on_claim_case(self, cube3):
+        """FCFS arbitration is still invocation-oblivious: the Section 3
+        mechanism produces OI under store-and-forward too."""
+        tfg = build_tfg(
+            "claim3",
+            [("t0", 400), ("t1", 400), ("t2", 400)],
+            [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+        )
+        timing = TFGTiming(tfg, 128.0, speeds=40.0)
+        result = StoreAndForwardSimulator(
+            timing, cube3, {"t0": 0, "t1": 3, "t2": 1}
+        ).run(tau_in=21.0, invocations=40, warmup=8)
+        assert result.has_oi()
