@@ -5,6 +5,7 @@ Runs a figure-style experiment from the shell::
     repro-sr utilization --topology hypercube6 --bandwidth 64
     repro-sr pipeline --topology torus4x4x4 --bandwidth 128 --loads 0.5 1.0
     repro-sr compile --topology ghc444 --bandwidth 64 --load 0.5
+    repro-sr faults --topology 6cube --fail-links 1 --seed 0
 """
 
 from __future__ import annotations
@@ -12,13 +13,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import SchedulingError
+from repro.errors import ReproError, RepairInfeasibleError, SchedulingError
 from repro.experiments import (
     pipeline_comparison,
     standard_setup,
     utilization_comparison,
 )
 from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.mapping.allocation import (
+    bfs_allocation,
+    random_allocation,
+    sequential_allocation,
+)
 from repro.metrics import load_sweep
 from repro.report import format_spike, format_table
 from repro.tfg import dvb_tfg
@@ -31,19 +37,65 @@ TOPOLOGIES = {
     "torus4x4x4": lambda: Torus((4, 4, 4)),
 }
 
+#: Paper-style shorthand accepted anywhere a ``--topology`` is.
+TOPOLOGY_ALIASES = {
+    "6cube": "hypercube6",
+    "cube6": "hypercube6",
+    "8x8torus": "torus8x8",
+    "4x4x4torus": "torus4x4x4",
+}
+
+ALLOCATORS = ("sequential", "bfs", "random", "annealed")
+
+
+def make_topology(name: str):
+    """Resolve a ``--topology`` value (canonical name or alias)."""
+    return TOPOLOGIES[TOPOLOGY_ALIASES.get(name, name)]()
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--topology", choices=sorted(TOPOLOGIES), default="hypercube6"
+        "--topology",
+        choices=sorted(TOPOLOGIES) + sorted(TOPOLOGY_ALIASES),
+        default="hypercube6",
     )
     parser.add_argument("--bandwidth", type=float, default=64.0)
     parser.add_argument("--models", type=int, default=8, help="DVB object models")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--allocator", choices=ALLOCATORS, default="sequential",
+        help="task placement strategy (random/annealed honour --seed)",
+    )
+
+
+def _allocator(args):
+    """The placement function a run uses; seeded variants close over
+    ``--seed`` so repeated invocations are reproducible."""
+    name = getattr(args, "allocator", "sequential")
+    if name == "sequential":
+        return sequential_allocation
+    if name == "bfs":
+        return bfs_allocation
+    if name == "random":
+        return lambda tfg, topology: random_allocation(tfg, topology, args.seed)
+    from repro.mapping.annealing import annealed_allocation
+
+    return lambda tfg, topology: annealed_allocation(tfg, topology, seed=args.seed)
 
 
 def _setup(args):
     return standard_setup(
-        dvb_tfg(args.models), TOPOLOGIES[args.topology](), args.bandwidth
+        dvb_tfg(args.models),
+        make_topology(args.topology),
+        args.bandwidth,
+        allocator=_allocator(args),
     )
 
 
@@ -145,6 +197,38 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults.compare import fault_recovery_experiment
+
+    setup = _setup(args)
+    try:
+        report = fault_recovery_experiment(
+            setup,
+            args.load,
+            seed=args.seed,
+            n_link_faults=args.fail_links,
+            n_drifts=args.drifts,
+            invocations=args.invocations,
+            warmup=args.warmup,
+            config=CompilerConfig(seed=args.seed),
+        )
+    except SchedulingError as error:
+        print(f"infeasible at load {args.load} on {setup.topology.name}: {error}")
+        return 1
+    except RepairInfeasibleError as error:
+        print(f"unrepairable fault on {setup.topology.name}: {error}")
+        return 1
+    except (ValueError, ReproError) as error:
+        print(f"bad fault request on {setup.topology.name}: {error}")
+        return 1
+    print(
+        f"{setup.topology.name} @ B={args.bandwidth} bytes/us, "
+        f"load {args.load} (tau_in={report.tau_in:g}us), seed {args.seed}"
+    )
+    print(report.describe())
+    return 0
+
+
 def _cmd_topology(args) -> int:
     from repro.topology import summarize
 
@@ -201,6 +285,24 @@ def main(argv: list[str] | None = None) -> int:
         help="print the switching-schedule Gantt chart of one node",
     )
     p_comp.set_defaults(func=_cmd_compile)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="inject link failures, repair the schedule, compare with WR",
+    )
+    _add_common(p_faults)
+    p_faults.add_argument("--load", type=float, default=0.5)
+    p_faults.add_argument(
+        "--fail-links", type=_nonnegative_int, default=1,
+        help="permanent link failures to inject (on schedule-used links)",
+    )
+    p_faults.add_argument(
+        "--drifts", type=_nonnegative_int, default=0,
+        help="nodes given a random CP clock-drift offset",
+    )
+    p_faults.add_argument("--invocations", type=int, default=40)
+    p_faults.add_argument("--warmup", type=int, default=8)
+    p_faults.set_defaults(func=_cmd_faults, bandwidth=128.0)
 
     p_topo = sub.add_parser("topology", help="structural summaries")
     p_topo.set_defaults(func=_cmd_topology)

@@ -35,7 +35,6 @@ from repro.core.utilization import (
     utilization_report,
 )
 from repro.topology.base import Topology
-from repro.topology.paths import enumerate_minimal_paths
 from repro.topology.routing import lsd_to_msd_route
 from repro.units import EPS
 
@@ -100,7 +99,7 @@ def assign_paths(
     rng = random.Random(seed)
     pools: dict[str, list[list[int]]] = {}
     for name, (src, dst) in endpoints.items():
-        pools[name] = enumerate_minimal_paths(topology, src, dst, max_paths)
+        pools[name] = topology.minimal_path_pool(src, dst, max_paths)
 
     def random_assignment() -> PathAssignment:
         return PathAssignment(

@@ -187,6 +187,30 @@ def _attempt(
         assignment = lsd_assignment(topology, endpoints)
         report = utilization_report(bounds, assignment)
 
+    return schedule_from_assignment(
+        bounds, assignment, report, tau_in, local, config,
+        attempt_number=attempt_number,
+    )
+
+
+def schedule_from_assignment(
+    bounds: TimeBoundSet,
+    assignment: PathAssignment,
+    report: UtilizationReport,
+    tau_in: float,
+    local: list[str],
+    config: CompilerConfig,
+    attempt_number: int = 1,
+) -> ScheduledRouting:
+    """Run the post-assignment compiler stages for a fixed path assignment.
+
+    This is the downstream half of :func:`compile_schedule` — utilisation
+    gate, maximal subsets, interval allocation/scheduling with feedback,
+    and Omega assembly.  The schedule-repair engine
+    (:mod:`repro.faults.repair`) calls it directly after locally
+    re-assigning only the fault-affected messages, so a repair reuses the
+    exact machinery (and validation) of a fresh compile.
+    """
     if not report.feasible:
         raise UtilizationExceededError(
             report.peak,

@@ -11,19 +11,39 @@ after its destination task's start instant is a deadline violation.
 A successful replay yields a :class:`~repro.wormhole.results.
 PipelineRunResult` with ``technique="scheduled"`` whose output intervals
 are exactly ``tau_in`` — the constant throughput the paper guarantees.
+
+Fault injection
+---------------
+``run(fault_trace=...)`` replays the same schedule on a *breaking*
+machine: a :class:`~repro.faults.injection.FaultInjector` drives link
+outages from the trace, and per-node clock drift shifts the transmission
+windows of the drifted node's outgoing messages.  A slot claim on a
+failed link raises :class:`~repro.errors.LinkFailedError` (the detection
+event the repair engine consumes); drift-induced contention or deadline
+misses raise the other :class:`~repro.errors.FaultInjectionError`
+subclasses instead of :class:`~repro.errors.ScheduleValidationError`,
+because the schedule is healthy — the machine is not.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.compiler import ScheduledRouting
-from repro.errors import ScheduleValidationError
-from repro.sim import Environment, Resource
+from repro.errors import (
+    FaultedDeadlineError,
+    FaultInjectionError,
+    LinkFailedError,
+    ScheduleValidationError,
+)
+from repro.sim import Environment, Monitor, Resource
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Link, Topology
 from repro.units import EPS
 from repro.wormhole.results import PipelineRunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.models import FaultTrace
 
 
 class ScheduledRoutingExecutor:
@@ -70,13 +90,33 @@ class ScheduledRoutingExecutor:
             occurrences.append((start, start + slot.duration))
         return occurrences
 
+    def _drift_shift(self, message_name: str, fault_trace) -> float:
+        """Clock-drift shift of a message's transmission windows.
+
+        The source CP's clock dictates when the flight enters the network,
+        so the whole clear-path window shifts by the source node's drift
+        offset.  Zero without a trace or for undrifted nodes.
+        """
+        if fault_trace is None:
+            return 0.0
+        message = self.timing.tfg.message(message_name)
+        return fault_trace.drift_of(self.allocation[message.src])
+
     # -- execution ------------------------------------------------------
 
-    def run(self, invocations: int = 40, warmup: int = 8) -> PipelineRunResult:
+    def run(
+        self,
+        invocations: int = 40,
+        warmup: int = 8,
+        fault_trace: "FaultTrace | None" = None,
+    ) -> PipelineRunResult:
         """Replay the schedule for ``invocations`` periods.
 
         Raises :class:`~repro.errors.ScheduleValidationError` if the
-        replay observes link contention or a missed delivery deadline.
+        replay observes link contention or a missed delivery deadline on a
+        healthy machine, and the applicable
+        :class:`~repro.errors.FaultInjectionError` subclass when an
+        injected fault (``fault_trace``) causes the violation.
         """
         if invocations - warmup < 4:
             raise ScheduleValidationError(
@@ -88,8 +128,13 @@ class ScheduledRoutingExecutor:
             link: Resource(env, capacity=1, name=str(link))
             for link in self.topology.links
         }
+        injector = None
+        if fault_trace is not None:
+            from repro.faults.injection import FaultInjector
+
+            injector = FaultInjector(env, links, fault_trace, self.topology)
         link_busy: dict[Link, float] = {}
-        completions: dict[int, float] = {}
+        completions = Monitor("completions")
         outputs = [t.name for t in self.timing.tfg.output_tasks]
         pending = {j: len(outputs) for j in range(invocations)}
 
@@ -101,9 +146,18 @@ class ScheduledRoutingExecutor:
             yield env.timeout(start - env.now if start > env.now else 0.0)
             held = []
             for link in slot_links or ():
+                if links[link].failed:
+                    raise LinkFailedError(link, message_name, env.now)
                 request = links[link].request(owner=message_name)
                 yield request
                 if request.grant_time - request.request_time > EPS:
+                    if fault_trace is not None:
+                        raise FaultInjectionError(
+                            f"contention on {link} while transmitting "
+                            f"{message_name!r} at t={env.now:.6f} under "
+                            "injected faults (drift margin exceeded?)",
+                            detection_time=env.now,
+                        )
                     raise ScheduleValidationError(
                         f"contention on {link} while transmitting "
                         f"{message_name!r} at t={env.now:.6f}"
@@ -122,18 +176,24 @@ class ScheduledRoutingExecutor:
             if task_name in outputs:
                 pending[invocation] -= 1
                 if pending[invocation] == 0:
-                    completions[invocation] = env.now
+                    completions.record(env.now, invocation)
 
         # Static deadline assertion: every routed message's last absolute
-        # slot must land before its destination task's start.
+        # slot (shifted by any injected source-clock drift) must land
+        # before its destination task's start.
         for message in self.timing.tfg.messages:
             if message.name not in self.routing.schedule.slots:
                 continue  # local message: delivered in memory at source finish
+            shift = self._drift_shift(message.name, fault_trace)
             dst_start = self._asap[message.dst][0]
             for j in range(invocations):
                 last_end = max(end for _, end in self.absolute_slots(message.name, j))
                 due = j * self.tau_in + dst_start
-                if last_end > due + 1e-6:
+                if last_end + shift > due + 1e-6:
+                    if shift != 0.0:
+                        raise FaultedDeadlineError(
+                            message.name, due, last_end + shift
+                        )
                     raise ScheduleValidationError(
                         f"message {message.name!r} invocation {j}: delivery "
                         f"at {last_end:.6f} misses destination start {due:.6f}"
@@ -146,9 +206,10 @@ class ScheduledRoutingExecutor:
         # non-negative relative to spawn order.
         flights = []
         for name in self.routing.schedule.slots:
+            shift = self._drift_shift(name, fault_trace)
             for j in range(invocations):
                 for start, end in self.absolute_slots(name, j):
-                    flights.append((start, end, name))
+                    flights.append((max(start + shift, 0.0), end + shift, name))
         for start, end, name in sorted(flights):
             env.process(transmission(name, start, end))
 
@@ -158,16 +219,19 @@ class ScheduledRoutingExecutor:
             raise ScheduleValidationError(
                 f"{invocations - len(completions)} invocations never completed"
             )
-        completion_times = tuple(completions[j] for j in range(invocations))
+        completion_times = tuple(time for time, _ in completions)
+        extra = {
+            "commands": self.routing.schedule.num_commands,
+            "link_busy": link_busy,
+            "invocations": invocations,
+        }
+        if injector is not None:
+            extra["fault_events"] = injector.events
         return PipelineRunResult(
             tau_in=self.tau_in,
             completion_times=completion_times,
             warmup=warmup,
             critical_path_length=self.timing.critical_path().length,
             technique="scheduled",
-            extra={
-                "commands": self.routing.schedule.num_commands,
-                "link_busy": link_busy,
-                "invocations": invocations,
-            },
+            extra=extra,
         )

@@ -102,3 +102,66 @@ class IntervalSchedulingError(SchedulingError):
 class ScheduleValidationError(ReproError):
     """A computed switching schedule violated an invariant when replayed
     (link contention, missed deadline, wrong delivery)."""
+
+
+class FaultInjectionError(ReproError):
+    """Base class for runtime aborts caused by an *injected fault*.
+
+    Distinct from :class:`ScheduleValidationError` on purpose: a healthy
+    schedule that trips over an injected link failure or clock drift is
+    not an invalid schedule — it is a valid schedule meeting a broken
+    machine.  Callers (the repair engine, the survivability benchmarks)
+    catch this hierarchy to start the detection -> repair pipeline.
+
+    Attributes
+    ----------
+    detection_time:
+        Absolute simulation instant at which the fault was observed
+        (``None`` when the abort happened outside the event loop).
+    """
+
+    def __init__(self, message: str, detection_time: float | None = None):
+        super().__init__(message)
+        self.detection_time = detection_time
+
+
+class LinkFailedError(FaultInjectionError):
+    """A transmission claimed a link that an injected fault had taken
+    down.  Carries the failed link and the message that detected it —
+    the inputs the repair engine needs."""
+
+    def __init__(self, link, message_name: str, detection_time: float):
+        self.link = link
+        self.message_name = message_name
+        super().__init__(
+            f"link {link} failed: detected by message {message_name!r} "
+            f"at t={detection_time:.6f}",
+            detection_time,
+        )
+
+
+class FaultedDeadlineError(FaultInjectionError):
+    """A delivery missed its destination-task deadline because of an
+    injected fault (clock drift eating the margin, or an outage window
+    swallowing the transmission slot)."""
+
+    def __init__(self, message_name: str, due: float, actual: float,
+                 cause: str = "clock drift"):
+        self.message_name = message_name
+        self.due = due
+        self.actual = actual
+        super().__init__(
+            f"message {message_name!r} delivery at {actual:.6f} misses "
+            f"deadline {due:.6f} under {cause}",
+            actual,
+        )
+
+
+class RepairInfeasibleError(FaultInjectionError):
+    """The schedule-repair engine could not produce a valid schedule on
+    the residual topology — neither local path repair nor a full
+    recompilation succeeded (or the failure disconnected a message's
+    endpoints)."""
+
+    def __init__(self, detail: str):
+        super().__init__(f"schedule repair infeasible: {detail}")

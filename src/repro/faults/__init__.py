@@ -1,0 +1,42 @@
+"""Fault injection and schedule repair for the reproduced machine.
+
+The paper assumes a healthy network: scheduled routing's compile-time
+guarantee is only as good as the topology it was compiled against.  This
+package asks what the guarantee costs to *keep* when links and nodes
+fail:
+
+- :mod:`repro.faults.models` — declarative, seeded fault traces
+  (transient/permanent link outages, node failures, CP clock drift);
+- :mod:`repro.faults.residual` — the degraded topology view used for
+  rerouting and re-verification;
+- :mod:`repro.faults.injection` — drives a trace into a live
+  discrete-event run (both the SR executor and the wormhole simulators);
+- :mod:`repro.faults.repair` — restores the SR guarantee after permanent
+  failures, locally when possible, by full recompilation otherwise;
+- :mod:`repro.faults.compare` — the SR-with-repair vs adaptive-wormhole
+  survivability experiment shared by the CLI and the benchmark suite.
+"""
+
+from repro.faults.injection import FaultInjector
+from repro.faults.models import (
+    ClockDrift,
+    FaultTrace,
+    LinkFault,
+    NodeFault,
+    generate_fault_trace,
+)
+from repro.faults.repair import RepairOutcome, affected_messages, repair_schedule
+from repro.faults.residual import ResidualTopology
+
+__all__ = [
+    "ClockDrift",
+    "FaultInjector",
+    "FaultTrace",
+    "LinkFault",
+    "NodeFault",
+    "RepairOutcome",
+    "ResidualTopology",
+    "affected_messages",
+    "generate_fault_trace",
+    "repair_schedule",
+]

@@ -1,0 +1,83 @@
+"""Driving fault traces into a live discrete-event simulation.
+
+:class:`FaultInjector` is the bridge between the declarative
+:class:`~repro.faults.models.FaultTrace` and the kernel's runtime hooks:
+for every link outage in the trace it spawns a process that calls
+:meth:`~repro.sim.resources.Resource.fail` at the outage start and (for
+transient faults) :meth:`~repro.sim.resources.Resource.restore` at its
+end.  Both the scheduled-routing executor and the wormhole simulators
+instantiate one when handed a trace; neither needs to know fault timing
+— they only observe ``resource.failed``.
+
+Every state flip is recorded on a :class:`~repro.sim.Monitor`, so a run
+result can report exactly when the machine degraded and recovered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.sim import Monitor
+from repro.topology.base import Link, Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.models import FaultTrace
+    from repro.sim import Environment, Resource
+
+
+class FaultInjector:
+    """Schedules a trace's link outages onto an environment's resources.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment the outages play out in.
+    links:
+        ``Link -> Resource`` map of the run (the injector fails/restores
+        these in place).
+    trace:
+        The fault history; node faults are expanded to their incident
+        links via ``topology``.
+    topology:
+        The machine, needed to expand node faults.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        links: Mapping[Link, "Resource"],
+        trace: "FaultTrace",
+        topology: Topology,
+    ):
+        self.env = env
+        self.links = links
+        self.trace = trace
+        self.events = Monitor("fault-events")
+        self._down_count: dict[Link, int] = {}
+        for fault in trace.all_link_faults(topology):
+            if fault.link in links:
+                env.process(self._outage(fault))
+
+    def _outage(self, fault):
+        if fault.start > self.env.now:
+            yield self.env.timeout(fault.start - self.env.now)
+        link = fault.link
+        # Overlapping outages on one link: the link is down while any of
+        # them holds (reference count), so a restore of one outage does
+        # not resurrect a link another outage still claims.
+        self._down_count[link] = self._down_count.get(link, 0) + 1
+        self.links[link].fail()
+        self.events.record(self.env.now, ("down", link))
+        if fault.permanent:
+            return
+        yield self.env.timeout(fault.duration)
+        self._down_count[link] -= 1
+        if self._down_count[link] == 0:
+            self.links[link].restore()
+            self.events.record(self.env.now, ("up", link))
+
+    def failed_links(self) -> frozenset[Link]:
+        """Links currently down (live view of the injected state)."""
+        return frozenset(
+            link for link, resource in self.links.items() if resource.failed
+        )

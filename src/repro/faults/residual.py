@@ -1,0 +1,145 @@
+"""The residual topology a machine degrades to after permanent faults.
+
+A :class:`ResidualTopology` is the original interconnect minus a set of
+failed links (node faults arrive pre-expanded to their incident links).
+It *is* a :class:`~repro.topology.base.Topology`, so every downstream
+consumer — path assignment, utilisation, the switching-schedule builder,
+the executor, `verify_schedule` — runs on it unchanged; links that no
+longer exist simply are not there to be claimed.
+
+The one structural difference: minimal paths on a residual network are
+no longer the mixed-radix interleavings of the product structure, so
+:meth:`ResidualTopology.minimal_path_pool` enumerates shortest paths on
+the surviving graph directly (BFS distance labels + backward DFS).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Link, Topology, link_between
+
+
+class ResidualTopology(Topology):
+    """A topology with a set of links removed by permanent faults.
+
+    Parameters
+    ----------
+    base:
+        The healthy interconnect.
+    failed_links:
+        Links to remove (canonical ``(u, v)`` order not required).
+    """
+
+    def __init__(self, base: Topology, failed_links):
+        canonical = frozenset(link_between(u, v) for u, v in failed_links)
+        unknown = canonical - set(base.links)
+        if unknown:
+            raise TopologyError(
+                f"failed links {sorted(unknown)} are not links of {base.name}"
+            )
+        super().__init__(
+            base.radices, f"{base.name}-{len(canonical)}down"
+        )
+        self.base = base
+        self.failed_links: frozenset[Link] = canonical
+        self._neighbor_cache: dict[int, tuple[int, ...]] = {}
+        self._distance_cache: dict[int, dict[int, int]] = {}
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        cached = self._neighbor_cache.get(node)
+        if cached is None:
+            cached = tuple(
+                n
+                for n in self.base.neighbors(node)
+                if link_between(node, n) not in self.failed_links
+            )
+            self._neighbor_cache[node] = cached
+        return cached
+
+    def _bfs_distances(self, src: int) -> dict[int, int]:
+        """Hop distances from ``src`` on the surviving graph (memoised)."""
+        cached = self._distance_cache.get(src)
+        if cached is None:
+            cached = {src: 0}
+            frontier = [src]
+            hops = 0
+            while frontier:
+                hops += 1
+                nxt: list[int] = []
+                for u in frontier:
+                    for v in self.neighbors(u):
+                        if v not in cached:
+                            cached[v] = hops
+                            nxt.append(v)
+                frontier = nxt
+            self._distance_cache[src] = cached
+        return cached
+
+    def distance(self, u: int, v: int) -> int:
+        self._check_node(u)
+        self._check_node(v)
+        distances = self._bfs_distances(u)
+        if v not in distances:
+            raise TopologyError(
+                f"{self.name} is disconnected: no surviving path {u}->{v}"
+            )
+        return distances[v]
+
+    def connected(self, u: int, v: int) -> bool:
+        """True when a surviving path joins the two nodes."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._bfs_distances(u)
+
+    def minimal_path_pool(
+        self, src: int, dst: int, max_paths: int | None = None
+    ) -> list[list[int]]:
+        """Shortest surviving paths ``src -> dst``, capped at ``max_paths``.
+
+        Deterministic (ascending-neighbor DFS over the BFS shortest-path
+        DAG); raises :class:`~repro.errors.TopologyError` when the faults
+        disconnected the endpoints.
+        """
+        if src == dst:
+            return [[src]]
+        distances = self._bfs_distances(src)
+        if dst not in distances:
+            raise TopologyError(
+                f"{self.name} is disconnected: no surviving path {src}->{dst}"
+            )
+        pool: list[list[int]] = []
+        # Walk the shortest-path DAG forward: from each node take only
+        # neighbors one hop closer to dst (per distances-from-dst labels).
+        from_dst = self._bfs_distances(dst)
+        path = [src]
+
+        def recurse(node: int) -> bool:
+            if node == dst:
+                pool.append(list(path))
+                return max_paths is not None and len(pool) >= max_paths
+            for n in self.neighbors(node):
+                if from_dst.get(n, -1) == from_dst[node] - 1:
+                    path.append(n)
+                    if recurse(n):
+                        return True
+                    path.pop()
+            return False
+
+        recurse(src)
+        return pool
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name}: {self.num_nodes} nodes, "
+            f"{self.num_links}/{self.base.num_links} links up>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ResidualTopology)
+            and self.base == other.base
+            and self.failed_links == other.failed_links
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.base, self.failed_links))

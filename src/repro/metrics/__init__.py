@@ -19,12 +19,26 @@ from repro.metrics.series import (
     normalized_throughput_stats,
     output_intervals,
 )
+from repro.metrics.survivability import (
+    OutageReport,
+    SurvivabilityPoint,
+    deadline_misses,
+    outage_misses,
+    survivability_curve,
+    throughput_series,
+)
 
 __all__ = [
+    "OutageReport",
     "SpikeStats",
+    "SurvivabilityPoint",
+    "deadline_misses",
     "has_output_inconsistency",
     "load_sweep",
     "normalized_latency_stats",
     "normalized_throughput_stats",
+    "outage_misses",
     "output_intervals",
+    "survivability_curve",
+    "throughput_series",
 ]

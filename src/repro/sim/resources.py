@@ -49,6 +49,7 @@ class Resource:
         self.name = name
         self._holders: list[Request] = []
         self._queue: deque[Request] = deque()
+        self._failed = False
 
     @property
     def count(self) -> int:
@@ -65,10 +66,32 @@ class Resource:
         """Snapshot of the currently granted requests."""
         return tuple(self._holders)
 
+    @property
+    def failed(self) -> bool:
+        """True while an injected fault holds the resource down."""
+        return self._failed
+
+    def fail(self) -> None:
+        """Take the resource down (fault injection hook).
+
+        New and queued requests stop being granted until :meth:`restore`.
+        Holders at the instant of failure keep their grant — the model is
+        detection at the next acquisition attempt (packet boundary), not
+        corruption of an in-flight transfer; simulators wanting stricter
+        semantics interrupt the holder's process themselves.
+        """
+        self._failed = True
+
+    def restore(self) -> None:
+        """Bring a failed resource back and grant any eligible waiters."""
+        self._failed = False
+        while self._queue and self.count < self.capacity:
+            self._grant(self._queue.popleft())
+
     def request(self, owner: Any = None) -> Request:
         """Claim one unit of capacity; the returned event fires on grant."""
         req = Request(self, owner=owner)
-        if self.count < self.capacity and not self._queue:
+        if self.count < self.capacity and not self._queue and not self._failed:
             self._grant(req)
         else:
             self._queue.append(req)
@@ -82,7 +105,7 @@ class Resource:
             raise SimulationError(
                 f"release of a request not holding {self.name or 'resource'}"
             ) from None
-        while self._queue and self.count < self.capacity:
+        while self._queue and self.count < self.capacity and not self._failed:
             self._grant(self._queue.popleft())
 
     def cancel(self, request: Request) -> None:
@@ -99,7 +122,8 @@ class Resource:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or f"Resource@{id(self):#x}"
-        return f"<{label} {self.count}/{self.capacity} queued={self.queue_length}>"
+        state = " DOWN" if self._failed else ""
+        return f"<{label} {self.count}/{self.capacity} queued={self.queue_length}{state}>"
 
 
 class Store:

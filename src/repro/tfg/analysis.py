@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import TFGError
-from repro.tfg.graph import Task, TaskFlowGraph
+from repro.tfg.graph import TaskFlowGraph
 from repro.units import transmission_time
 
 

@@ -153,6 +153,21 @@ class Topology:
             frontier = nxt
         raise TopologyError(f"{self.name} is disconnected: no path {u}->{v}")
 
+    def minimal_path_pool(
+        self, src: int, dst: int, max_paths: int | None = None
+    ) -> list[list[int]]:
+        """The pool of minimal ``src -> dst`` paths candidates draw from.
+
+        The default delegates to the mixed-radix enumeration of
+        :func:`repro.topology.paths.enumerate_minimal_paths`.  Subclasses
+        whose link set is *not* the full product structure — notably the
+        residual topologies of :mod:`repro.faults` — override this so
+        path assignment and schedule repair only ever see live links.
+        """
+        from repro.topology.paths import enumerate_minimal_paths
+
+        return enumerate_minimal_paths(self, src, dst, max_paths)
+
     # -- per-dimension step hooks used by routing/path enumeration ---------
 
     def dimension_steps(self, src_digit: int, dst_digit: int, dim: int) -> list[list[int]]:

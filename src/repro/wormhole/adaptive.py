@@ -12,6 +12,14 @@ top of the wormhole machinery: at every hop the header inspects the
 profitable (distance-reducing) links and takes a free one when available,
 otherwise queues FCFS on the deterministic first choice.  Everything else
 — hold-while-blocked, half-duplex links, deadlock recovery — is inherited.
+
+Under fault injection the adaptivity doubles as fault tolerance: failed
+links are never chosen while a live profitable link exists, and when a
+failure kills *every* profitable link the header misroutes one hop
+through the live neighbor closest to the destination (bounded by a hop
+budget so a shattered network cannot walk forever).  This is the
+degraded-mode baseline the survivability benchmarks compare scheduled
+routing's repair engine against.
 """
 
 from __future__ import annotations
@@ -40,12 +48,62 @@ class AdaptiveWormholeSimulator(WormholeSimulator):
     the commitment the paper's argument turns into OI.
     """
 
-    def _plan_hop(self, links, current: int, dst: int) -> int:
-        """The next node the adaptive header advances toward."""
+    #: Misrouting safety valve: a flight may take at most this many hops
+    #: (as a multiple of the healthy route length) before it stops
+    #: dodging failures and blocks on a minimal link instead.
+    MISROUTE_HOP_FACTOR = 4
+
+    def _plan_hop(
+        self,
+        links,
+        current: int,
+        dst: int,
+        taken: frozenset = frozenset(),
+        visited: frozenset = frozenset(),
+        allow_misroute: bool = True,
+    ) -> int:
+        """The next node the adaptive header advances toward.
+
+        ``taken`` holds the links this flight already acquired (or has
+        pending) this attempt: a wormhole flight must never re-request
+        one — it would block on itself forever, a deadlock no wait-for
+        cycle through *other* flights ever reveals.  ``visited`` holds
+        the nodes the walk has passed: revisiting one means the header
+        circled around a failure and is burning hop budget on a loop, so
+        visited nodes are avoided while any fresh choice exists.
+        """
         candidates = minimal_next_hops(self.topology, current, dst)
+        live = []
         for neighbor in candidates:
-            resource = links[link_between(current, neighbor)]
+            link = link_between(current, neighbor)
+            resource = links[link]
+            if resource.failed or link in taken or neighbor in visited:
+                continue
+            live.append(neighbor)
             if resource.count < resource.capacity and resource.queue_length == 0:
+                return neighbor
+        if live:
+            return live[0]
+        if allow_misroute:
+            # Every profitable link is down, held, or loops back:
+            # misroute one hop through the live unvisited neighbor
+            # closest to the destination (lowest id on ties).
+            detour = [
+                n for n in self.topology.neighbors(current)
+                if not links[link_between(current, n)].failed
+                and link_between(current, n) not in taken
+                and n not in visited
+            ]
+            if detour:
+                return min(
+                    detour, key=lambda n: (self.topology.distance(n, dst), n)
+                )
+        # Self-avoidance exhausted (or budget spent): block on the first
+        # minimal link not already held and wait for a restore/abort;
+        # with every escape held, the deterministic choice at least makes
+        # the stall visible to the recovery machinery.
+        for neighbor in candidates:
+            if link_between(current, neighbor) not in taken:
                 return neighbor
         return candidates[0]
 
@@ -54,7 +112,22 @@ class AdaptiveWormholeSimulator(WormholeSimulator):
     # through `_flight_links`, which we make dynamic here.
     def _flight_links(self, links, src_node: int, dst_node: int):
         current = src_node
+        budget = self.MISROUTE_HOP_FACTOR * max(
+            self.topology.distance(src_node, dst_node), 1
+        )
+        taken: set = set()
+        visited = {src_node}
+        hops = 0
         while current != dst_node:
-            neighbor = self._plan_hop(links, current, dst_node)
-            yield link_between(current, neighbor)
+            neighbor = self._plan_hop(
+                links, current, dst_node,
+                taken=frozenset(taken),
+                visited=frozenset(visited),
+                allow_misroute=hops < budget,
+            )
+            link = link_between(current, neighbor)
+            taken.add(link)
+            visited.add(neighbor)
+            yield link
             current = neighbor
+            hops += 1

@@ -30,17 +30,26 @@ always zero.  See DESIGN.md, "Substitutions".
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import AllocationError, SimulationError
 from repro.mapping.allocation import validate_allocation
-from repro.sim import Environment, Event, Interrupt, Resource
+from repro.sim import Environment, Event, Interrupt, Monitor, Resource
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Link, Topology
 from repro.topology.routing import links_on_path, lsd_to_msd_route, validate_path
 from repro.wormhole.results import PipelineRunResult
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.models import FaultTrace
+
 Router = Callable[[Topology, int, int], list[int]]
+
+#: Fault-blocked flights are aborted and retried at most this many times
+#: each before the run is declared stuck (a deterministic router facing a
+#: permanent failure re-requests the same dead link forever; adaptive
+#: routing re-plans around it on the first retry).
+MAX_FAULT_ABORTS_PER_FLIGHT = 3
 
 
 class WormholeSimulator:
@@ -119,12 +128,23 @@ class WormholeSimulator:
         invocations: int = 40,
         warmup: int = 8,
         max_recoveries: int | None = None,
+        fault_trace: "FaultTrace | None" = None,
     ) -> PipelineRunResult:
         """Simulate ``invocations`` periodic invocations at period ``tau_in``.
 
         ``max_recoveries`` bounds deadlock recoveries (see the module
         docstring); it defaults to ``500 * invocations``.  Exhausting it
         raises :class:`~repro.errors.SimulationError`.
+
+        ``fault_trace`` injects link outages (and node faults, expanded to
+        their incident links) into the run: failed links stop granting,
+        so flights block on them like on any busy channel.  A flight
+        stalled on a failed link when the simulation can make no other
+        progress is aborted and retried (the deadlock-recovery machinery
+        reused as fault detection); adaptive routing then re-plans around
+        the failure, while a deterministic router re-requests the dead
+        link and the run is declared stuck after
+        :data:`MAX_FAULT_ABORTS_PER_FLIGHT` futile retries.
         """
         if tau_in < self.timing.tau_c:
             raise SimulationError(
@@ -142,6 +162,11 @@ class WormholeSimulator:
             link: Resource(env, capacity=self.virtual_channels, name=str(link))
             for link in self.topology.links
         }
+        injector = None
+        if fault_trace is not None:
+            from repro.faults.injection import FaultInjector
+
+            injector = FaultInjector(env, links, fault_trace, self.topology)
         aps: dict[int, Resource] = {
             node: Resource(env, capacity=1, name=f"AP{node}")
             for node in set(self.allocation.values())
@@ -159,7 +184,10 @@ class WormholeSimulator:
             arrivals[j] = env.event()
 
         outputs_pending = {j: len(self.tfg.output_tasks) for j in range(invocations)}
-        completions: dict[int, float] = {}
+        # Completion instants, recorded in invocation order (pipelining
+        # orders instance j before j+1); Monitor gives O(1) length checks
+        # in the recovery loop below, unlike the copying ``times`` view.
+        completions = Monitor("completions")
 
         def input_source():
             """External input arrivals every tau_in."""
@@ -258,7 +286,7 @@ class WormholeSimulator:
             if not self.tfg.messages_out(task.name):
                 outputs_pending[j] -= 1
                 if outputs_pending[j] == 0:
-                    completions[j] = env.now
+                    completions.record(env.now, j)
 
         env.process(input_source())
         flight_processes: dict[tuple[str, int], object] = {}
@@ -273,6 +301,7 @@ class WormholeSimulator:
                 env.process(task_instance(task, j, spawn_flight))
 
         recoveries = 0
+        fault_aborts: dict[tuple[str, int], int] = {}
         budget = (
             max_recoveries if max_recoveries is not None else 500 * invocations
         )
@@ -281,29 +310,40 @@ class WormholeSimulator:
             if len(completions) == invocations:
                 break
             victim = self._pick_recovery_victim(waiting, links)
+            if victim is None:
+                victim = self._pick_fault_victim(waiting, links, fault_aborts)
             if victim is None or recoveries >= budget:
                 blocked = sorted(str(k) for k in waiting)
+                detail = (
+                    " (some flights are stuck on permanently failed links)"
+                    if injector is not None and injector.failed_links()
+                    else ""
+                )
                 raise SimulationError(
                     f"wormhole deadlock: {invocations - len(completions)} "
                     f"invocations never completed on {self.topology.name} "
                     f"at tau_in={tau_in} after {recoveries} recoveries; "
-                    f"blocked messages: {blocked}"
+                    f"blocked messages: {blocked}{detail}"
                 )
             recoveries += 1
             flight_processes[victim].interrupt(cause="deadlock recovery")
 
-        completion_times = tuple(completions[j] for j in range(invocations))
+        completion_times = tuple(time for time, _ in completions)
+        extra = {
+            "virtual_channels": self.virtual_channels,
+            "recoveries": recoveries,
+            "link_waits": link_waits,
+        }
+        if injector is not None:
+            extra["fault_events"] = injector.events
+            extra["fault_aborts"] = sum(fault_aborts.values())
         return PipelineRunResult(
             tau_in=tau_in,
             completion_times=completion_times,
             warmup=warmup,
             critical_path_length=self.timing.critical_path().length,
             technique="wormhole",
-            extra={
-                "virtual_channels": self.virtual_channels,
-                "recoveries": recoveries,
-                "link_waits": link_waits,
-            },
+            extra=extra,
         )
 
     @staticmethod
@@ -319,10 +359,13 @@ class WormholeSimulator:
         """
         graph: dict[tuple, set] = {}
         for key, (_, wanted_link, _) in waiting.items():
+            # A flight re-requesting a link it already holds (possible
+            # under adaptive misrouting) is a self-edge: a one-node cycle
+            # the DFS below finds like any other.
             blockers = {
                 request.owner
                 for request in links[wanted_link].holders
-                if request.owner in waiting and request.owner != key
+                if request.owner in waiting
             }
             graph[key] = blockers
 
@@ -332,6 +375,31 @@ class WormholeSimulator:
         _, j, name = min(
             (len(waiting[key][2]), key[1], key[0]) for key in cycle
         )
+        return (name, j)
+
+    @staticmethod
+    def _pick_fault_victim(waiting, links, fault_aborts):
+        """A flight stalled on a *failed* link to abort and retry.
+
+        Fault detection reuses the recovery machinery: the aborted flight
+        drops its held links, backs off, and re-acquires — an adaptive
+        router then plans around the dead link.  Each flight gets
+        :data:`MAX_FAULT_ABORTS_PER_FLIGHT` retries; a flight exhausting
+        them (deterministic routing over a permanent failure) is left
+        blocked and the run raises.
+        """
+        candidates = [
+            key
+            for key, (_, wanted_link, _) in waiting.items()
+            if links[wanted_link].failed
+            and fault_aborts.get(key, 0) < MAX_FAULT_ABORTS_PER_FLIGHT
+        ]
+        if not candidates:
+            return None
+        _, j, name = min(
+            (len(waiting[key][2]), key[1], key[0]) for key in candidates
+        )
+        fault_aborts[(name, j)] = fault_aborts.get((name, j), 0) + 1
         return (name, j)
 
 

@@ -19,8 +19,7 @@ from repro.core.interval_scheduling import (
     schedule_interval,
 )
 from repro.cp import replay_schedule
-from repro.experiments import standard_setup
-from repro.tfg import TFGTiming, dvb_tfg
+from repro.tfg import TFGTiming
 from repro.tfg.graph import build_tfg
 
 

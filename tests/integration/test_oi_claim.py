@@ -45,7 +45,7 @@ class TestClaim:
         )
         assert simulator.route(0, 3) == [0, 1, 3]
         assert simulator.route(3, 1) == [3, 1]
-        assert (1, 3) in {tuple(sorted(l)) for l in m1_links}
+        assert (1, 3) in {tuple(sorted(link)) for link in m1_links}
 
     def test_wormhole_shows_output_inconsistency(self, claim_case):
         timing, topo, allocation = claim_case

@@ -30,7 +30,6 @@ def reroute_scenario(draw):
                        message_window=max(tau_c, tau_m))
     tau_in = max(timing.tau_c * draw(st.floats(1.0, 3.0)),
                  timing.message_window)
-    bounds = compute_time_bounds(timing, tau_in)
     rng = random.Random(draw(st.integers(0, 2000)))
     nodes = rng.sample(range(TOPOLOGY.num_nodes), tfg.num_tasks)
     placement = dict(zip(tfg.topological_order(), nodes))

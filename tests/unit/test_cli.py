@@ -104,10 +104,81 @@ class TestTopologyCommand:
         assert "torus8x8" in out
 
 
+class TestFaultsCommand:
+    def test_inject_repair_compare(self, capsys):
+        code = main([
+            "faults", "--topology", "6cube", "--models", "5",
+            "--fail-links", "1", "--seed", "0",
+            "--invocations", "16", "--warmup", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault trace" in out
+        assert "repair strategy" in out
+        assert "repair latency" in out
+        assert "SR repaired jitter" in out
+        assert "WR degraded" in out
+
+    def test_topology_alias_matches_canonical(self, capsys):
+        for name in ("6cube", "hypercube6"):
+            code = main([
+                "faults", "--topology", name, "--models", "5",
+                "--fail-links", "1", "--seed", "0",
+                "--invocations", "16", "--warmup", "4",
+            ])
+            assert code == 0
+        outs = capsys.readouterr().out
+        # Identical seed + workload: the alias run reproduces the trace.
+        lines = [
+            line for line in outs.splitlines()
+            if line.startswith("fault trace")
+        ]
+        assert len(lines) == 2 and lines[0] == lines[1]
+
+
+class TestAllocatorOption:
+    def test_random_allocator_is_seed_reproducible(self, capsys):
+        args = [
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.4", "--allocator", "random",
+        ]
+        code_a = main(args + ["--seed", "3"])
+        out_a = capsys.readouterr().out
+        code_b = main(args + ["--seed", "3"])
+        out_b = capsys.readouterr().out
+        assert code_a == code_b
+        assert out_a == out_b
+
+    def test_random_allocator_seed_changes_placement(self):
+        from repro.cli import _allocator, make_topology
+        from repro.tfg import dvb_tfg
+        import argparse
+
+        tfg = dvb_tfg(5)
+        topology = make_topology("6cube")
+        placements = []
+        for seed in (0, 1):
+            ns = argparse.Namespace(allocator="random", seed=seed)
+            placements.append(_allocator(ns)(tfg, topology))
+        assert placements[0] != placements[1]
+
+    def test_bfs_allocator_accepted(self, capsys):
+        code = main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "5", "--load", "0.5", "--allocator", "bfs",
+        ])
+        assert code in (0, 1)  # placement may change feasibility
+        assert capsys.readouterr().out  # but it must report either way
+
+
 class TestArgumentValidation:
     def test_unknown_topology_rejected(self):
         with pytest.raises(SystemExit):
             main(["compile", "--topology", "ring", "--load", "0.5"])
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--allocator", "oracle", "--load", "0.5"])
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -6,8 +6,7 @@ from repro.core.assign_paths import assign_paths, lsd_assignment
 from repro.core.compiler import routed_and_local_messages
 from repro.core.timebounds import compute_time_bounds
 from repro.core.utilization import utilization_report
-from repro.experiments import standard_setup
-from repro.tfg import TFGTiming, dvb_tfg
+from repro.tfg import TFGTiming
 from repro.tfg.graph import build_tfg
 from repro.topology import lsd_to_msd_route
 

@@ -9,7 +9,6 @@ from repro.experiments import standard_setup
 from repro.tfg import TFGTiming, dvb_tfg
 from repro.tfg.graph import build_tfg
 from repro.tfg.synth import chain_tfg
-from repro.topology import binary_hypercube
 
 
 class TestComputeBound:

@@ -8,7 +8,6 @@ from repro.core.compiler import (
     routed_and_local_messages,
 )
 from repro.errors import SchedulingError, UtilizationExceededError
-from repro.experiments import standard_setup
 from repro.tfg import TFGTiming
 from repro.tfg.graph import build_tfg
 from repro.tfg.synth import chain_tfg

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.core.compiler import compile_schedule
 from repro.core.executor import ScheduledRoutingExecutor
 from repro.core.switching import TransmissionSlot
 from repro.errors import ScheduleValidationError

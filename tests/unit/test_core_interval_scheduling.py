@@ -8,10 +8,7 @@ from repro.core.interval_scheduling import (
     max_weight_independent_set,
     schedule_interval,
 )
-from repro.core.timebounds import compute_time_bounds
 from repro.errors import IntervalSchedulingError
-from repro.tfg import TFGTiming
-from repro.tfg.graph import build_tfg
 
 
 def assignment_with_paths(cube3, paths):

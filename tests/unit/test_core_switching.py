@@ -6,7 +6,6 @@ from repro.core.switching import (
     AP_PORT,
     CommunicationSchedule,
     NodeSchedule,
-    SwitchCommand,
     TransmissionSlot,
     _slot_commands,
 )

@@ -9,7 +9,6 @@ from repro.experiments import (
     utilization_comparison,
 )
 from repro.mapping import bfs_allocation
-from repro.tfg import dvb_tfg
 from repro.tfg.synth import chain_tfg
 
 

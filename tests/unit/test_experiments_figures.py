@@ -1,7 +1,5 @@
 """Unit tests for the figure drivers' edge paths."""
 
-import pytest
-
 from repro.core.compiler import CompilerConfig
 from repro.experiments import pipeline_comparison, standard_setup
 from repro.experiments.figures import PipelinePoint

@@ -6,7 +6,6 @@ from repro.core.compiler import CompilerConfig
 from repro.experiments import feasibility_matrix, format_matrix
 from repro.mapping import bfs_allocation
 from repro.tfg.synth import chain_tfg
-from repro.topology import binary_hypercube
 
 
 @pytest.fixture()

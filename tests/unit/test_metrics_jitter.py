@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.jitter import JitterReport, jitter_report
+from repro.metrics.jitter import jitter_report
 
 
 class TestJitterReport:

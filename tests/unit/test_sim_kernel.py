@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+from repro.sim import AllOf, Environment, Event, Interrupt
 
 
 class TestEvent:

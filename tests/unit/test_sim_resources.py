@@ -100,6 +100,51 @@ class TestResource:
         assert resource.holders == ()
 
 
+class TestResourceFailure:
+    def test_failed_resource_queues_instead_of_granting(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.fail()
+        assert resource.failed
+        request = resource.request(owner="x")
+        assert not request.triggered
+        assert resource.queue_length == 1
+
+    def test_restore_drains_queue_fcfs(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.fail()
+        first = resource.request(owner="a")
+        second = resource.request(owner="b")
+        resource.restore()
+        assert first.triggered
+        assert not second.triggered  # capacity 1: b still queued behind a
+
+    def test_holder_keeps_grant_across_failure(self):
+        # Detection is at the next acquisition attempt (packet boundary):
+        # an in-flight holder is not preempted by the failure.
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = resource.request(owner="holder")
+        resource.fail()
+        assert granted.triggered
+        assert resource.count == 1
+        resource.release(granted)
+        # The freed capacity must NOT be granted while the link is down.
+        late = resource.request(owner="late")
+        assert not late.triggered
+        resource.restore()
+        assert late.triggered
+
+    def test_repr_marks_down(self):
+        env = Environment()
+        resource = Resource(env, capacity=1, name="L")
+        resource.fail()
+        assert "DOWN" in repr(resource)
+        resource.restore()
+        assert "DOWN" not in repr(resource)
+
+
 class TestStore:
     def test_put_then_get(self):
         env = Environment()

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TFGError
 from repro.tfg import TFGTiming, speeds_for_ratio
 from repro.tfg.graph import build_tfg
-from repro.tfg.synth import chain_tfg
 
 
 class TestElementaryTimes:

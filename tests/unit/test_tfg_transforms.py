@@ -3,8 +3,6 @@
 import pytest
 
 from repro.errors import TFGError
-from repro.tfg import dvb_tfg
-from repro.tfg.graph import build_tfg
 from repro.tfg.synth import chain_tfg, fan_tfg
 from repro.tfg.transforms import (
     level_decomposition,

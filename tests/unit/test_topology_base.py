@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TopologyError
 from repro.topology import (
     GeneralizedHypercube,
-    Mesh,
     Torus,
     binary_hypercube,
     link_between,

@@ -7,9 +7,7 @@ import pytest
 
 from repro.errors import RoutingError
 from repro.topology import (
-    GeneralizedHypercube,
     Torus,
-    binary_hypercube,
     enumerate_minimal_paths,
     links_on_path,
     lsd_to_msd_route,
