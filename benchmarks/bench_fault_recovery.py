@@ -73,7 +73,7 @@ def _print_scenarios(title, reports):
             f"{r.repair.repair_wall_ms:.1f}",
             str(r.repair.messages_rerouted),
             str(r.outage.num_missed_invocations),
-            f"{r.sr_post_repair.jitter().peak_to_peak:.1f}",
+            f"{r.sr_result.jitter().peak_to_peak:.1f}",
             wr_jitter,
         ))
     print()
@@ -115,8 +115,8 @@ def _assert_trade(reports):
         # The repaired schedule went through full verification inside the
         # experiment; its replay must be jitter-free (the restored
         # guarantee) and the repair must have moved only what it had to.
-        assert r.sr_post_repair.jitter().peak_to_peak <= 1e-9
-        assert not r.sr_post_repair.has_oi()
+        assert r.sr_result.jitter().peak_to_peak <= 1e-9
+        assert not r.sr_result.has_oi()
         assert r.repair.strategy in {"none", "local", "recompile"}
         if r.repair.strategy == "local":
             assert set(r.repair.rerouted_messages) <= set(

@@ -76,7 +76,20 @@ from repro.topology import (
     enumerate_minimal_paths,
     lsd_to_msd_route,
 )
-from repro.viz import link_occupancy_chart, node_gantt, sparkline
+from repro.results import RunConfig, RunResult
+from repro.trace import (
+    CompileProfile,
+    CompileProfiler,
+    TraceRecorder,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.viz import (
+    link_occupancy_chart,
+    node_gantt,
+    sparkline,
+    trace_occupancy_chart,
+)
 from repro.wormhole import (
     AdaptiveWormholeSimulator,
     OiRisk,
@@ -90,6 +103,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveWormholeSimulator",
     "CommunicationSchedule",
+    "CompileProfile",
+    "CompileProfiler",
     "CompilerConfig",
     "ExperimentSetup",
     "FeasibilityBounds",
@@ -102,6 +117,8 @@ __all__ = [
     "Message",
     "PipelineRunResult",
     "ReproError",
+    "RunConfig",
+    "RunResult",
     "ScheduleValidationError",
     "ScheduledRouting",
     "ScheduledRoutingExecutor",
@@ -112,6 +129,7 @@ __all__ = [
     "Task",
     "TaskFlowGraph",
     "Torus",
+    "TraceRecorder",
     "VerificationReport",
     "UtilizationExceededError",
     "WormholeSimulator",
@@ -140,7 +158,10 @@ __all__ = [
     "sparkline",
     "speeds_for_ratio",
     "standard_setup",
+    "to_chrome_trace",
+    "trace_occupancy_chart",
     "utilization_comparison",
     "verify_schedule",
+    "write_chrome_trace",
     "__version__",
 ]

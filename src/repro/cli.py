@@ -6,6 +6,7 @@ Runs a figure-style experiment from the shell::
     repro-sr pipeline --topology torus4x4x4 --bandwidth 128 --loads 0.5 1.0
     repro-sr compile --topology ghc444 --bandwidth 64 --load 0.5
     repro-sr faults --topology 6cube --fail-links 1 --seed 0
+    repro-sr trace --mode sr --load 0.5 --out trace.json
 """
 
 from __future__ import annotations
@@ -199,18 +200,21 @@ def _cmd_inspect(args) -> int:
 
 def _cmd_faults(args) -> int:
     from repro.faults.compare import fault_recovery_experiment
+    from repro.results import RunConfig
 
     setup = _setup(args)
     try:
         report = fault_recovery_experiment(
             setup,
             args.load,
-            seed=args.seed,
             n_link_faults=args.fail_links,
             n_drifts=args.drifts,
-            invocations=args.invocations,
-            warmup=args.warmup,
             config=CompilerConfig(seed=args.seed),
+            run=RunConfig(
+                invocations=args.invocations,
+                warmup=args.warmup,
+                seed=args.seed,
+            ),
         )
     except SchedulingError as error:
         print(f"infeasible at load {args.load} on {setup.topology.name}: {error}")
@@ -226,6 +230,74 @@ def _cmd_faults(args) -> int:
         f"load {args.load} (tau_in={report.tau_in:g}us), seed {args.seed}"
     )
     print(report.describe())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.results import RunConfig
+    from repro.trace import CompileProfiler, TraceRecorder, write_chrome_trace
+
+    setup = _setup(args)
+    tau_in = setup.tau_in_for_load(args.load)
+    tracer = TraceRecorder()
+    run = RunConfig(
+        invocations=args.invocations,
+        warmup=args.warmup,
+        seed=args.seed,
+        tracer=tracer,
+    )
+    events = []
+    if args.mode == "sr":
+        from repro.core.executor import ScheduledRoutingExecutor
+
+        profiler = CompileProfiler()
+        try:
+            routing = compile_schedule(
+                setup.timing,
+                setup.topology,
+                setup.allocation,
+                tau_in,
+                CompilerConfig(seed=args.seed),
+                profiler=profiler,
+            )
+        except SchedulingError as error:
+            print(f"infeasible at load {args.load}: {error}")
+            return 1
+        result = ScheduledRoutingExecutor(
+            routing, setup.timing, setup.topology, setup.allocation
+        ).run(config=run)
+        # One frame of CP crossbar programming, on CP<node> tracks.
+        from repro.cp import replay_schedule
+
+        replay_schedule(routing.schedule, setup.topology, tracer=tracer)
+        profile = profiler.profile
+        events.extend(profile.trace_events())
+        print(profile.table())
+        print()
+    else:
+        from repro.wormhole import WormholeSimulator
+
+        result = WormholeSimulator(
+            setup.timing, setup.topology, setup.allocation
+        ).run(tau_in, config=run)
+    events.extend(tracer.events)
+    print(
+        f"{args.mode.upper()} run on {setup.topology.name} @ load {args.load} "
+        f"(tau_in={tau_in:g}us): {len(result.completion_times)} invocations, "
+        f"OI={result.has_oi()}, "
+        f"jitter peak-to-peak={result.jitter().peak_to_peak:.3f}us"
+    )
+    print(
+        f"captured {len(events)} trace events on "
+        f"{len(tracer.tracks())} tracks"
+    )
+    if args.chart:
+        from repro.viz import trace_occupancy_chart
+
+        print()
+        print(trace_occupancy_chart(tracer, top=args.chart))
+    write_chrome_trace(events, args.out)
+    print(f"Chrome trace written to {args.out} (open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -303,6 +375,28 @@ def main(argv: list[str] | None = None) -> int:
     p_faults.add_argument("--invocations", type=int, default=40)
     p_faults.add_argument("--warmup", type=int, default=8)
     p_faults.set_defaults(func=_cmd_faults, bandwidth=128.0)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced SR or WR execution and export a Chrome trace",
+    )
+    _add_common(p_trace)
+    p_trace.add_argument(
+        "--mode", choices=("sr", "wr"), default="sr",
+        help="scheduled routing (with compile profile) or wormhole routing",
+    )
+    p_trace.add_argument("--load", type=float, default=0.5)
+    p_trace.add_argument("--invocations", type=int, default=12)
+    p_trace.add_argument("--warmup", type=int, default=4)
+    p_trace.add_argument(
+        "--out", metavar="FILE", default="trace.json",
+        help="Chrome/Perfetto trace output path",
+    )
+    p_trace.add_argument(
+        "--chart", type=_nonnegative_int, metavar="TOP", default=0,
+        help="also print the TOP busiest traced links as ASCII bars",
+    )
+    p_trace.set_defaults(func=_cmd_trace, bandwidth=128.0)
 
     p_topo = sub.add_parser("topology", help="structural summaries")
     p_topo.set_defaults(func=_cmd_topology)

@@ -30,6 +30,7 @@ from repro.errors import (
 from repro.mapping.allocation import validate_allocation
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Topology
+from repro.trace.profile import NULL_PROFILER, CompileProfiler
 
 
 @dataclass(frozen=True)
@@ -122,8 +123,14 @@ def compile_schedule(
     allocation: Mapping[str, int],
     tau_in: float,
     config: CompilerConfig | None = None,
+    profiler: CompileProfiler | None = None,
 ) -> ScheduledRouting:
     """Compile a contention-free communication schedule for one period.
+
+    Pass a :class:`~repro.trace.profile.CompileProfiler` to record
+    per-stage wall time and problem sizes; the resulting
+    :class:`~repro.trace.profile.CompileProfile` also lands in the
+    returned routing's ``extra["compile_profile"]``.
 
     Raises the stage-specific :class:`~repro.errors.SchedulingError`
     subclass of the *last* failed attempt when no attempt succeeds:
@@ -133,11 +140,15 @@ def compile_schedule(
     fails.
     """
     config = config or CompilerConfig()
+    profiler = profiler if profiler is not None else NULL_PROFILER
     validate_allocation(timing.tfg, topology, allocation, exclusive=False)
     routed, local = routed_and_local_messages(timing, allocation)
-    bounds = compute_time_bounds(
-        timing, tau_in, routed, extra_duration=config.sync_margin
-    )
+    with profiler.stage(
+        "time-bounds", messages=len(routed), local_messages=len(local)
+    ):
+        bounds = compute_time_bounds(
+            timing, tau_in, routed, extra_duration=config.sync_margin
+        )
     endpoints = {
         name: (
             allocation[timing.tfg.message(name).src],
@@ -150,13 +161,18 @@ def compile_schedule(
     last_error: SchedulingError | None = None
     for attempt in range(attempts):
         try:
-            return _attempt(
+            routing = _attempt(
                 bounds, topology, endpoints, tau_in, local, config,
                 seed=config.seed + attempt,
                 attempt_number=attempt + 1,
+                profiler=profiler,
             )
         except SchedulingError as error:
             last_error = error
+        else:
+            if profiler is not NULL_PROFILER:
+                routing.extra["compile_profile"] = profiler.profile
+            return routing
     assert last_error is not None
     raise last_error
 
@@ -170,26 +186,38 @@ def _attempt(
     config: CompilerConfig,
     seed: int,
     attempt_number: int,
+    profiler: CompileProfiler | None = None,
 ) -> ScheduledRouting:
     """One full pipeline attempt under one assignment seed."""
+    profiler = profiler if profiler is not None else NULL_PROFILER
     if config.use_assign_paths:
-        heuristic = assign_paths(
-            bounds,
-            topology,
-            endpoints,
-            seed=seed,
+        with profiler.stage(
+            "assign-paths",
+            attempt=attempt_number,
+            messages=len(endpoints),
             max_paths=config.max_paths,
-            max_restarts=config.max_restarts,
-        )
+        ):
+            heuristic = assign_paths(
+                bounds,
+                topology,
+                endpoints,
+                seed=seed,
+                max_paths=config.max_paths,
+                max_restarts=config.max_restarts,
+            )
         assignment: PathAssignment = heuristic.assignment
         report = heuristic.report
     else:
-        assignment = lsd_assignment(topology, endpoints)
-        report = utilization_report(bounds, assignment)
+        with profiler.stage(
+            "assign-paths(lsd)", attempt=attempt_number, messages=len(endpoints)
+        ):
+            assignment = lsd_assignment(topology, endpoints)
+            report = utilization_report(bounds, assignment)
 
     return schedule_from_assignment(
         bounds, assignment, report, tau_in, local, config,
         attempt_number=attempt_number,
+        profiler=profiler,
     )
 
 
@@ -201,6 +229,7 @@ def schedule_from_assignment(
     local: list[str],
     config: CompilerConfig,
     attempt_number: int = 1,
+    profiler: CompileProfiler | None = None,
 ) -> ScheduledRouting:
     """Run the post-assignment compiler stages for a fixed path assignment.
 
@@ -211,23 +240,35 @@ def schedule_from_assignment(
     re-assigning only the fault-affected messages, so a repair reuses the
     exact machinery (and validation) of a fresh compile.
     """
+    profiler = profiler if profiler is not None else NULL_PROFILER
     if not report.feasible:
         raise UtilizationExceededError(
             report.peak,
             witness=f"{report.witness_kind} {report.witness_link}",
         )
 
-    subsets = maximal_subsets(bounds, assignment)
+    with profiler.stage("maximal-subsets", attempt=attempt_number) as detail:
+        subsets = maximal_subsets(bounds, assignment)
+        detail["subsets"] = len(subsets)
     allocations: list[IntervalAllocation] = []
     interval_schedules = []
+    num_intervals = len(bounds.intervals.lengths)
     for index, subset in enumerate(subsets):
-        interval_allocation, schedules = _allocate_with_feedback(
-            bounds, assignment, subset, index, config.feedback_rounds
-        )
+        with profiler.stage(
+            f"allocate+schedule[{index}]",
+            attempt=attempt_number,
+            messages=len(subset),
+            lp_vars=len(subset) * num_intervals,
+        ):
+            interval_allocation, schedules = _allocate_with_feedback(
+                bounds, assignment, subset, index, config.feedback_rounds
+            )
         allocations.append(interval_allocation)
         interval_schedules.append(schedules)
 
-    schedule = build_schedule(bounds, assignment, interval_schedules)
+    with profiler.stage("build-schedule", attempt=attempt_number) as detail:
+        schedule = build_schedule(bounds, assignment, interval_schedules)
+        detail["commands"] = schedule.num_commands
     return _package(
         schedule, report, bounds, subsets, allocations, tau_in, local,
         attempt_number,

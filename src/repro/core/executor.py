@@ -8,9 +8,14 @@ resources at its absolute time.  Any claim that is not granted instantly
 is a contention violation and aborts the run; any delivery completing
 after its destination task's start instant is a deadline violation.
 
-A successful replay yields a :class:`~repro.wormhole.results.
-PipelineRunResult` with ``technique="scheduled"`` whose output intervals
-are exactly ``tau_in`` — the constant throughput the paper guarantees.
+A successful replay yields a :class:`~repro.results.RunResult` with
+``technique="scheduled"`` whose output intervals are exactly ``tau_in``
+— the constant throughput the paper guarantees.  Pass a
+:class:`~repro.results.RunConfig` carrying a
+:class:`~repro.trace.tracer.TraceRecorder` to capture the replay as a
+structured trace: ``slot`` spans for every scheduled transmission
+window, ``link`` occupancy spans for every grant, ``task`` spans per
+invocation, and ``run`` completion instants.
 
 Fault injection
 ---------------
@@ -36,11 +41,12 @@ from repro.errors import (
     LinkFailedError,
     ScheduleValidationError,
 )
+from repro.results import RunConfig, RunResult, resolve_run_config
 from repro.sim import Environment, Monitor, Resource
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Link, Topology
+from repro.trace.tracer import TraceRecorder
 from repro.units import EPS
-from repro.wormhole.results import PipelineRunResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.models import FaultTrace
@@ -106,24 +112,39 @@ class ScheduledRoutingExecutor:
 
     def run(
         self,
-        invocations: int = 40,
-        warmup: int = 8,
+        invocations: int | None = None,
+        warmup: int | None = None,
         fault_trace: "FaultTrace | None" = None,
-    ) -> PipelineRunResult:
-        """Replay the schedule for ``invocations`` periods.
+        *,
+        config: RunConfig | None = None,
+    ) -> RunResult:
+        """Replay the schedule for ``config.invocations`` periods.
+
+        Accepts a :class:`~repro.results.RunConfig` (the unified run
+        API); the ``invocations``/``warmup``/``fault_trace`` keywords
+        are retained as a thin shim and, when given, override the
+        corresponding config fields.
 
         Raises :class:`~repro.errors.ScheduleValidationError` if the
         replay observes link contention or a missed delivery deadline on a
         healthy machine, and the applicable
         :class:`~repro.errors.FaultInjectionError` subclass when an
-        injected fault (``fault_trace``) causes the violation.
+        injected fault (``config.fault_trace``) causes the violation.
         """
+        config = resolve_run_config(
+            config,
+            invocations=invocations,
+            warmup=warmup,
+            fault_trace=fault_trace,
+        )
+        invocations, warmup = config.invocations, config.warmup
+        fault_trace, tracer = config.fault_trace, config.tracer
         if invocations - warmup < 4:
             raise ScheduleValidationError(
                 f"need >= 4 measured invocations, got {invocations} with "
                 f"warmup={warmup}"
             )
-        env = Environment()
+        env = Environment(tracer=tracer)
         links: dict[Link, Resource] = {
             link: Resource(env, capacity=1, name=str(link))
             for link in self.topology.links
@@ -147,6 +168,14 @@ class ScheduledRoutingExecutor:
             held = []
             for link in slot_links or ():
                 if links[link].failed:
+                    if tracer.enabled:
+                        tracer.instant(
+                            "fault",
+                            "detection",
+                            env.now,
+                            track=str(link),
+                            message=message_name,
+                        )
                     raise LinkFailedError(link, message_name, env.now)
                 request = links[link].request(owner=message_name)
                 yield request
@@ -172,11 +201,29 @@ class ScheduledRoutingExecutor:
             start, finish = self._asap[task_name]
             yield env.timeout(invocation * self.tau_in + start - env.now)
             # Deliveries due before this start are asserted statically below.
+            run_start = env.now
             yield env.timeout(finish - start)
+            if tracer.enabled:
+                tracer.span(
+                    "task",
+                    task_name,
+                    run_start,
+                    env.now,
+                    track=f"node{self.allocation[task_name]}",
+                    invocation=invocation,
+                )
             if task_name in outputs:
                 pending[invocation] -= 1
                 if pending[invocation] == 0:
                     completions.record(env.now, invocation)
+                    if tracer.enabled:
+                        tracer.instant(
+                            "run",
+                            "completion",
+                            env.now,
+                            track="outputs",
+                            invocation=invocation,
+                        )
 
         # Static deadline assertion: every routed message's last absolute
         # slot (shifted by any injected source-clock drift) must land
@@ -209,8 +256,20 @@ class ScheduledRoutingExecutor:
             shift = self._drift_shift(name, fault_trace)
             for j in range(invocations):
                 for start, end in self.absolute_slots(name, j):
-                    flights.append((max(start + shift, 0.0), end + shift, name))
-        for start, end, name in sorted(flights):
+                    flights.append((max(start + shift, 0.0), end + shift, name, j))
+        for start, end, name, j in sorted(flights):
+            if tracer.enabled:
+                # The *compiled* transmission window; the link-occupancy
+                # spans emitted by the Resource record the *replayed* one
+                # (the SR guarantee is that the two coincide).
+                tracer.span(
+                    "slot",
+                    name,
+                    start,
+                    end,
+                    track=f"msg {name}",
+                    invocation=j,
+                )
             env.process(transmission(name, start, end))
 
         env.run()
@@ -227,11 +286,12 @@ class ScheduledRoutingExecutor:
         }
         if injector is not None:
             extra["fault_events"] = injector.events
-        return PipelineRunResult(
+        return RunResult(
             tau_in=self.tau_in,
             completion_times=completion_times,
             warmup=warmup,
             critical_path_length=self.timing.critical_path().length,
             technique="scheduled",
             extra=extra,
+            trace=tracer if isinstance(tracer, TraceRecorder) else None,
         )

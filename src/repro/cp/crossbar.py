@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.switching import AP_PORT, Port
 from repro.errors import ScheduleValidationError
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -34,11 +35,21 @@ class Crossbar:
         Owning node id (for error messages).
     channel_ports:
         The neighbor ids this crossbar has channels to.
+    tracer:
+        Optional event sink; ``connect``/``disconnect`` emit
+        ``crossbar``-category instants on the ``CP<node>`` track when the
+        caller supplies the switching instant via ``at=``.
     """
 
-    def __init__(self, node: int, channel_ports: tuple[int, ...]):
+    def __init__(
+        self,
+        node: int,
+        channel_ports: tuple[int, ...],
+        tracer: Tracer | None = None,
+    ):
         self.node = node
         self.channel_ports = frozenset(channel_ports)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._active: dict[Port, Connection] = {}  # channel port -> connection
 
     @property
@@ -55,8 +66,18 @@ class Crossbar:
                 f"(channels: {sorted(self.channel_ports)})"
             )
 
-    def connect(self, input_port: Port, output_port: Port, message: str) -> Connection:
-        """Establish a connection; both channel ports must be free."""
+    def connect(
+        self,
+        input_port: Port,
+        output_port: Port,
+        message: str,
+        at: float | None = None,
+    ) -> Connection:
+        """Establish a connection; both channel ports must be free.
+
+        ``at`` is the model instant of the switch (for tracing only —
+        the crossbar itself has no clock).
+        """
         self._check_port(input_port)
         self._check_port(output_port)
         if input_port == output_port:
@@ -76,10 +97,30 @@ class Crossbar:
         for port in (input_port, output_port):
             if port != AP_PORT:
                 self._active[port] = connection
+        if self.tracer.enabled and at is not None:
+            self.tracer.instant(
+                "crossbar",
+                "connect",
+                at,
+                track=f"CP{self.node}",
+                input=str(input_port),
+                output=str(output_port),
+                message=message,
+            )
         return connection
 
-    def disconnect(self, connection: Connection) -> None:
+    def disconnect(self, connection: Connection, at: float | None = None) -> None:
         """Tear down a connection previously returned by :meth:`connect`."""
+        if self.tracer.enabled and at is not None:
+            self.tracer.instant(
+                "crossbar",
+                "disconnect",
+                at,
+                track=f"CP{self.node}",
+                input=str(connection.input_port),
+                output=str(connection.output_port),
+                message=connection.message,
+            )
         found = False
         for port in (connection.input_port, connection.output_port):
             if port == AP_PORT:

@@ -15,16 +15,20 @@ from repro.core.switching import CommunicationSchedule, NodeSchedule
 from repro.cp.crossbar import Connection, Crossbar
 from repro.errors import ScheduleValidationError
 from repro.topology.base import Topology
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.units import EPS
 
 
 class CommunicationProcessor:
     """One node's CP: a crossbar plus its switching-schedule controller."""
 
-    def __init__(self, node: int, topology: Topology):
+    def __init__(
+        self, node: int, topology: Topology, tracer: Tracer | None = None
+    ):
         self.node = node
         self.topology = topology
-        self.crossbar = Crossbar(node, topology.neighbors(node))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.crossbar = Crossbar(node, topology.neighbors(node), tracer=self.tracer)
 
     def execute(self, schedule: NodeSchedule, frame_length: float) -> int:
         """Replay one frame of the node's schedule; returns the number of
@@ -59,11 +63,25 @@ class CommunicationProcessor:
         for _, kind, command in events:
             if kind == 1:
                 live[id(command)] = self.crossbar.connect(
-                    command.input_port, command.output_port, command.message
+                    command.input_port,
+                    command.output_port,
+                    command.message,
+                    at=command.time,
                 )
+                if self.tracer.enabled:
+                    self.tracer.span(
+                        "crossbar",
+                        "switch",
+                        command.time,
+                        command.end,
+                        track=f"CP{self.node}",
+                        input=str(command.input_port),
+                        output=str(command.output_port),
+                        message=command.message,
+                    )
                 executed += 1
             else:
-                self.crossbar.disconnect(live.pop(id(command)))
+                self.crossbar.disconnect(live.pop(id(command)), at=command.end)
         if self.crossbar.active_connections:
             raise ScheduleValidationError(
                 f"node {self.node}: connections left live after the frame"
@@ -74,13 +92,16 @@ class CommunicationProcessor:
 def replay_schedule(
     schedule: CommunicationSchedule,
     topology: Topology,
+    tracer: Tracer | None = None,
 ) -> int:
     """Replay every node's switching schedule on its CP model.
 
-    Returns the total number of commands executed across nodes.
+    Returns the total number of commands executed across nodes.  With a
+    ``tracer``, each node's frame renders as ``switch`` spans on its
+    ``CP<node>`` track — one frame of crossbar programming.
     """
     total = 0
     for node, node_schedule in schedule.node_schedules.items():
-        cp = CommunicationProcessor(node, topology)
+        cp = CommunicationProcessor(node, topology, tracer=tracer)
         total += cp.execute(node_schedule, schedule.tau_in)
     return total

@@ -36,6 +36,15 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class InvalidDelayError(SimulationError, ValueError):
+    """A negative (or non-finite) delay was passed where the kernel needs
+    a forward-in-time duration (``Timeout``, ``Environment.schedule``).
+
+    Subclasses both :class:`SimulationError` (the library contract) and
+    :class:`ValueError` (the historical type), so existing ``except
+    ValueError`` callers keep working."""
+
+
 class SchedulingError(ReproError):
     """Base class for compile-time scheduled-routing failures.
 

@@ -17,6 +17,7 @@ one function, so figures and smoke runs can never drift apart.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -27,12 +28,12 @@ from repro.errors import FaultInjectionError, SimulationError
 from repro.faults.models import FaultTrace, generate_fault_trace
 from repro.faults.repair import RepairOutcome, repair_schedule
 from repro.metrics.survivability import OutageReport, outage_misses
+from repro.results import RunConfig, RunResult, resolve_run_config
 from repro.topology.base import Link
 from repro.wormhole.adaptive import AdaptiveWormholeSimulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.setup import ExperimentSetup
-    from repro.wormhole.results import PipelineRunResult
 
 #: Model microseconds per wall-clock millisecond of repair computation.
 #: The outage window charged to scheduled routing extends from the fault
@@ -59,9 +60,11 @@ class FaultRecoveryReport:
         the faulted replay completed before any slot touched it).
     repair:
         The repair engine's outcome (strategy, latency, reroutes).
-    sr_post_repair:
+    sr_result:
         Replay of the repaired schedule on the residual machine — its
-        jitter is the "guarantee restored" claim.
+        jitter is the "guarantee restored" claim.  (Previously named
+        ``sr_post_repair``; the old name remains as a deprecated
+        property.)
     outage:
         Deliveries lost between the fault and the repaired schedule
         taking effect.
@@ -77,10 +80,21 @@ class FaultRecoveryReport:
     failed_links: frozenset[Link]
     detection_time: float | None
     repair: RepairOutcome
-    sr_post_repair: "PipelineRunResult"
+    sr_result: RunResult
     outage: OutageReport
-    wr_result: "PipelineRunResult | None"
+    wr_result: RunResult | None
     wr_error: str | None
+
+    @property
+    def sr_post_repair(self) -> RunResult:
+        """Deprecated alias of :attr:`sr_result`."""
+        warnings.warn(
+            "FaultRecoveryReport.sr_post_repair is deprecated; "
+            "use FaultRecoveryReport.sr_result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sr_result
 
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output body)."""
@@ -102,10 +116,10 @@ class FaultRecoveryReport:
             f"{self.outage.num_missed_deliveries} deliveries lost, "
             f"{self.outage.num_missed_invocations} invocations missed",
         ]
-        sr_jitter = self.sr_post_repair.jitter()
+        sr_jitter = self.sr_result.jitter()
         lines.append(
             f"SR repaired jitter : peak-to-peak {sr_jitter.peak_to_peak:.6f}us "
-            f"(OI={self.sr_post_repair.has_oi()})"
+            f"(OI={self.sr_result.has_oi()})"
         )
         if self.wr_result is not None:
             wr_jitter = self.wr_result.jitter()
@@ -123,13 +137,14 @@ class FaultRecoveryReport:
 def fault_recovery_experiment(
     setup: "ExperimentSetup",
     load: float,
-    seed: int = 0,
+    seed: int | None = None,
     n_link_faults: int = 1,
     n_drifts: int = 0,
-    invocations: int = 40,
-    warmup: int = 8,
+    invocations: int | None = None,
+    warmup: int | None = None,
     config: CompilerConfig | None = None,
     horizon_fraction: float = 0.5,
+    run: RunConfig | None = None,
 ) -> FaultRecoveryReport:
     """Inject, detect, repair, and compare against adaptive wormhole.
 
@@ -149,8 +164,20 @@ def fault_recovery_experiment(
 
     ``horizon_fraction`` places fault start times inside the first
     fraction of the replay window so detection happens mid-run.
+
+    ``run`` bundles the run parameters (invocations, warm-up, seed,
+    tracer) as a :class:`~repro.results.RunConfig`; the per-call
+    ``seed``/``invocations``/``warmup`` keywords are legacy shims that
+    override it when passed.  A non-null ``run.tracer`` traces the
+    post-repair SR replay and the degraded WR run (both into the same
+    recorder, on disjoint tracks).
     """
     config = config or CompilerConfig()
+    run = resolve_run_config(
+        run, seed=seed, invocations=invocations, warmup=warmup
+    )
+    seed = run.seed
+    invocations, warmup = run.invocations, run.warmup
     tau_in = setup.tau_in_for_load(load)
     routing = compile_schedule(
         setup.timing, setup.topology, setup.allocation, tau_in, config
@@ -190,9 +217,9 @@ def fault_recovery_experiment(
     verify_schedule(
         repair.routing, setup.timing, repair.residual, setup.allocation
     )
-    sr_post_repair = ScheduledRoutingExecutor(
+    sr_result = ScheduledRoutingExecutor(
         repair.routing, setup.timing, repair.residual, setup.allocation
-    ).run(invocations=invocations, warmup=warmup)
+    ).run(config=run.replace(fault_trace=None))
 
     fault_start = min(
         (f.start for f in trace.all_link_faults(setup.topology) if f.permanent),
@@ -210,7 +237,7 @@ def fault_recovery_experiment(
     try:
         wr_result = AdaptiveWormholeSimulator(
             setup.timing, setup.topology, setup.allocation
-        ).run(tau_in, invocations=invocations, warmup=warmup, fault_trace=trace)
+        ).run(tau_in, config=run.replace(fault_trace=trace))
     except SimulationError as error:
         wr_error = str(error)
 
@@ -220,7 +247,7 @@ def fault_recovery_experiment(
         failed_links=failed,
         detection_time=detection_time,
         repair=repair,
-        sr_post_repair=sr_post_repair,
+        sr_result=sr_result,
         outage=outage,
         wr_result=wr_result,
         wr_error=wr_error,

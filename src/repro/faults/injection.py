@@ -68,6 +68,11 @@ class FaultInjector:
         self._down_count[link] = self._down_count.get(link, 0) + 1
         self.links[link].fail()
         self.events.record(self.env.now, ("down", link))
+        if self.env.tracer.enabled:
+            self.env.tracer.instant(
+                "fault", "down", self.env.now, track=str(link),
+                permanent=fault.permanent,
+            )
         if fault.permanent:
             return
         yield self.env.timeout(fault.duration)
@@ -75,6 +80,10 @@ class FaultInjector:
         if self._down_count[link] == 0:
             self.links[link].restore()
             self.events.record(self.env.now, ("up", link))
+            if self.env.tracer.enabled:
+                self.env.tracer.instant(
+                    "fault", "up", self.env.now, track=str(link),
+                )
 
     def failed_links(self) -> frozenset[Link]:
         """Links currently down (live view of the injected state)."""

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.compiler import CompilerConfig, ScheduledRouting
     from repro.core.executor import ScheduledRoutingExecutor
     from repro.tfg.analysis import TFGTiming
-    from repro.wormhole.results import PipelineRunResult
+    from repro.results import RunResult
 
 
 # -- outage-window accounting -------------------------------------------------
@@ -100,7 +100,7 @@ def outage_misses(
 
 # -- degraded-mode series -----------------------------------------------------
 
-def throughput_series(result: "PipelineRunResult") -> list[float]:
+def throughput_series(result: "RunResult") -> list[float]:
     """Per-interval normalized throughput ``tau_in / delta_out``.
 
     Constant 1.0 for a healthy scheduled run; dips below 1.0 mark the
@@ -112,7 +112,7 @@ def throughput_series(result: "PipelineRunResult") -> list[float]:
     ]
 
 
-def deadline_misses(result: "PipelineRunResult", deadline: float) -> int:
+def deadline_misses(result: "RunResult", deadline: float) -> int:
     """Invocations (post warm-up) whose latency exceeded ``deadline``.
 
     ``deadline`` is an absolute latency budget in microseconds — e.g.

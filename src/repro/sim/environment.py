@@ -8,6 +8,7 @@ from typing import Any, Generator, Optional
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class Environment:
@@ -17,18 +18,29 @@ class Environment:
     order (FIFO), which makes runs fully deterministic — important both for
     reproducible benchmarks and for modelling FCFS link arbitration in the
     wormhole simulator, where "first come" must mean the same thing on
-    every run.
+    every run.  The FIFO tie-break counter is **per environment**, so two
+    environments never share ordering state and replays are reproducible
+    regardless of what else ran in the process.
 
     Parameters
     ----------
     initial_time:
         Starting value of :attr:`now` (default 0.0).
+    tracer:
+        Structured event sink (:mod:`repro.trace`).  Defaults to the
+        null tracer; when enabled, the kernel emits ``sim``-category
+        instants for event scheduling and agenda steps, and resources
+        built on this environment emit their own categories.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer: Tracer | None = None):
         self._now = float(initial_time)
         self._agenda: list[tuple[float, int, Event]] = []
         self._next_id = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Hot-path guard: one attribute read instead of a method call per
+        # kernel event when tracing is off (the common case).
+        self._tracing = self.tracer.enabled
 
     @property
     def now(self) -> float:
@@ -65,6 +77,15 @@ class Environment:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
         heapq.heappush(self._agenda, (self._now + delay, self._next_id, event))
         self._next_id += 1
+        if self._tracing:
+            self.tracer.instant(
+                "sim",
+                "schedule",
+                self._now,
+                track="kernel",
+                due=self._now + delay,
+                event=type(event).__name__,
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
@@ -78,6 +99,14 @@ class Environment:
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimulationError("agenda went backwards in time")
         self._now = when
+        if self._tracing:
+            self.tracer.instant(
+                "sim",
+                "step",
+                when,
+                track="kernel",
+                event=type(event).__name__,
+            )
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks or ():
             callback(event)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import InvalidDelayError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.sim.environment import Environment
@@ -102,8 +102,11 @@ class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay}")
+        if not delay >= 0:  # rejects negatives and NaN in one test
+            raise InvalidDelayError(
+                f"Timeout delay must be a non-negative duration, got "
+                f"{delay!r}: events cannot fire in the past"
+            )
         super().__init__(env)
         self.delay = delay
         self._ok = True

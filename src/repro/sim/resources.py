@@ -50,6 +50,10 @@ class Resource:
         self._holders: list[Request] = []
         self._queue: deque[Request] = deque()
         self._failed = False
+        # Cached tracing guard (the environment's tracer is fixed at
+        # construction); keeps the request/grant/release hot path at one
+        # boolean test when tracing is off.
+        self._tracing = env.tracer.enabled
 
     @property
     def count(self) -> int:
@@ -105,6 +109,16 @@ class Resource:
             raise SimulationError(
                 f"release of a request not holding {self.name or 'resource'}"
             ) from None
+        if self._tracing:
+            # One occupancy span per completed hold: grant -> release.
+            self.env.tracer.span(
+                "link",
+                "occupy",
+                request.grant_time,
+                self.env.now,
+                track=self.name or repr(self),
+                owner=request.owner,
+            )
         while self._queue and self.count < self.capacity and not self._failed:
             self._grant(self._queue.popleft())
 
@@ -118,6 +132,16 @@ class Resource:
     def _grant(self, req: Request) -> None:
         self._holders.append(req)
         req.grant_time = self.env.now
+        if self._tracing and req.grant_time > req.request_time:
+            # The FCFS wait the paper's Section 3 argument is about.
+            self.env.tracer.span(
+                "link",
+                "blocked",
+                req.request_time,
+                req.grant_time,
+                track=self.name or repr(self),
+                owner=req.owner,
+            )
         req.succeed(req)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,42 @@
+"""Structured tracing & profiling for runs and compilations.
+
+- :mod:`repro.trace.tracer` — the event model: :class:`TraceEvent`,
+  the no-op :class:`Tracer` / :data:`NULL_TRACER`, and the in-memory
+  :class:`TraceRecorder`;
+- :mod:`repro.trace.export` — Chrome/Perfetto ``trace.json`` export;
+- :mod:`repro.trace.profile` — compiler stage wall-time/LP-size
+  profiling.
+
+Quick use::
+
+    from repro.trace import TraceRecorder, write_chrome_trace
+    from repro.results import RunConfig
+
+    tracer = TraceRecorder()
+    result = executor.run(config=RunConfig(invocations=12, tracer=tracer))
+    write_chrome_trace(tracer.events, "trace.json")   # open in Perfetto
+"""
+
+from repro.trace.export import to_chrome_trace, write_chrome_trace
+from repro.trace.profile import (
+    NULL_PROFILER,
+    CompileProfile,
+    CompileProfiler,
+    NullProfiler,
+    StageProfile,
+)
+from repro.trace.tracer import NULL_TRACER, TraceEvent, Tracer, TraceRecorder
+
+__all__ = [
+    "CompileProfile",
+    "CompileProfiler",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "NullProfiler",
+    "StageProfile",
+    "TraceEvent",
+    "Tracer",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

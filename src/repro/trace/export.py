@@ -1,0 +1,108 @@
+"""Trace exporters: Chrome/Perfetto ``trace.json`` and text timelines.
+
+The Chrome trace event format (the JSON array flavour understood by
+``chrome://tracing`` and https://ui.perfetto.dev) maps cleanly onto our
+events: every :class:`~repro.trace.tracer.TraceEvent` track becomes one
+named thread, spans become complete (``"ph": "X"``) events and instants
+become ``"ph": "i"`` events.  Model time is microseconds, which is also
+the format's timestamp unit, so timestamps pass through unscaled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.trace.tracer import TraceEvent
+
+#: Synthetic process ids: simulation tracks vs compiler tracks.
+SIM_PID = 1
+COMPILE_PID = 2
+
+
+def _sort_key(track: str) -> tuple:
+    """Stable, human-friendly track ordering: links first, grouped."""
+    return (track.split()[0] if track else "", track)
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """Render events as a Chrome trace object (``{"traceEvents": [...]}``).
+
+    One named thread per track; events with an empty track land on a
+    catch-all ``"(run)"`` thread.  ``compile``-category events get their
+    own process so wall-clock compiler time never visually interleaves
+    with model time.
+    """
+    events = list(events)
+    tracks: dict[tuple[int, str], int] = {}
+    trace_events: list[dict] = []
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tracks:
+            tracks[key] = len(tracks) + 1
+        return tracks[key]
+
+    for event in events:
+        pid = COMPILE_PID if event.category == "compile" else SIM_PID
+        tid = tid_for(pid, event.track or "(run)")
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": pid,
+            "tid": tid,
+            "ts": event.time,
+            "args": dict(event.args),
+        }
+        if event.is_span:
+            record["ph"] = "X"
+            record["dur"] = event.duration
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+
+    metadata: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SIM_PID,
+            "args": {"name": "simulation (model us)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": COMPILE_PID,
+            "args": {"name": "compiler (wall time)"},
+        },
+    ]
+    for (pid, track), tid in sorted(
+        tracks.items(), key=lambda item: (item[0][0], _sort_key(item[0][1]))
+    ):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> str:
+    """Write a Perfetto-loadable ``trace.json``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(events), handle, default=str)
+    return path

@@ -6,11 +6,23 @@ Terminal-friendly renderings used by the examples and handy in a REPL:
   switching schedule over the frame,
 - :func:`~repro.viz.gantt.link_occupancy_chart` — per-link busy bars for
   a communication schedule,
+- :func:`~repro.viz.gantt.trace_occupancy_chart` — per-link busy bars
+  measured from a recorded run trace (:mod:`repro.trace`),
 - :func:`~repro.viz.sparkline.sparkline` — a unicode mini-plot of a
   measured series (throughput/latency per invocation).
 """
 
-from repro.viz.gantt import link_occupancy_chart, node_gantt
+from repro.viz.gantt import (
+    link_occupancy_chart,
+    node_gantt,
+    trace_occupancy_chart,
+)
 from repro.viz.sparkline import series_panel, sparkline
 
-__all__ = ["link_occupancy_chart", "node_gantt", "series_panel", "sparkline"]
+__all__ = [
+    "link_occupancy_chart",
+    "node_gantt",
+    "series_panel",
+    "sparkline",
+    "trace_occupancy_chart",
+]

@@ -1,8 +1,13 @@
-"""ASCII Gantt charts of communication schedules."""
+"""ASCII Gantt charts of communication schedules and recorded traces."""
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.switching import CommunicationSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.tracer import TraceRecorder
 
 
 def _bar(intervals: list[tuple[float, float]], frame: float, width: int) -> str:
@@ -78,4 +83,54 @@ def link_occupancy_chart(
         fraction = busy_time(intervals) / schedule.tau_in
         bar = _bar(intervals, schedule.tau_in, width)
         lines.append(f"{str(link):>10} {fraction:5.1%} |{bar}|")
+    return "\n".join(lines)
+
+
+def trace_occupancy_chart(
+    recorder: "TraceRecorder",
+    width: int = 64,
+    top: int | None = None,
+    window: tuple[float, float] | None = None,
+) -> str:
+    """Busy bars of *measured* link occupancy from a recorded trace.
+
+    Where :func:`link_occupancy_chart` draws the compiled schedule's
+    intent (one frame), this draws what a traced run actually did over
+    the whole simulation: every ``link``/``occupy`` span the
+    :class:`~repro.trace.tracer.TraceRecorder` captured, one row per
+    link, busiest first.  ``window`` restricts the chart to an absolute
+    time interval (e.g. one steady-state period).
+    """
+    occupancy = recorder.occupancy()
+    if window is not None:
+        t0, t1 = window
+        occupancy = {
+            track: [
+                (max(start, t0), min(end, t1), owner)
+                for start, end, owner in spans
+                if start < t1 and end > t0
+            ]
+            for track, spans in occupancy.items()
+        }
+        occupancy = {k: v for k, v in occupancy.items() if v}
+    if not occupancy:
+        return "trace recorded no link occupancy"
+    origin = min(s for spans in occupancy.values() for s, _, _ in spans)
+    horizon = max(e for spans in occupancy.values() for _, e, _ in spans)
+    span = max(horizon - origin, 1e-9)
+
+    def busy_time(spans):
+        return sum(end - start for start, end, _ in spans)
+
+    ranked = sorted(occupancy.items(), key=lambda kv: -busy_time(kv[1]))
+    if top is not None:
+        ranked = ranked[:top]
+    lines = [f"traced link occupancy over [{origin:g}, {horizon:g}] us"]
+    for track, spans in ranked:
+        fraction = busy_time(spans) / span
+        intervals = [(s - origin, e - origin) for s, e, _ in spans]
+        bar = _bar(intervals, span, width)
+        owners = sorted({owner for _, _, owner in spans if owner})
+        suffix = f"  [{', '.join(owners)}]" if owners else ""
+        lines.append(f"{track:>10} {fraction:5.1%} |{bar}|{suffix}")
     return "\n".join(lines)

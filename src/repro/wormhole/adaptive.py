@@ -95,9 +95,21 @@ class AdaptiveWormholeSimulator(WormholeSimulator):
                 and n not in visited
             ]
             if detour:
-                return min(
+                chosen = min(
                     detour, key=lambda n: (self.topology.distance(n, dst), n)
                 )
+                env = links[link_between(current, chosen)].env
+                if env.tracer.enabled:
+                    env.tracer.instant(
+                        "flight",
+                        "misroute",
+                        env.now,
+                        track=str(link_between(current, chosen)),
+                        at_node=current,
+                        toward=chosen,
+                        dst=dst,
+                    )
+                return chosen
         # Self-avoidance exhausted (or budget spent): block on the first
         # minimal link not already held and wait for a restore/abort;
         # with every escape held, the deterministic choice at least makes

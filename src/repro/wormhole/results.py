@@ -1,103 +1,35 @@
-"""Result container for pipelined execution runs (WR and SR alike)."""
+"""Deprecated home of the run-result container.
+
+The result shape shared by WR and SR runs now lives in
+:mod:`repro.results` as :class:`~repro.results.RunResult`; importing or
+instantiating :class:`PipelineRunResult` from here still works but is
+deprecated.  See ``docs/api.md`` for the migration guide.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.metrics.series import (
-    SpikeStats,
-    has_output_inconsistency,
-    normalized_latency_stats,
-    normalized_throughput_stats,
-    output_intervals,
-)
+from repro.results import RunResult
+
+__all__ = ["PipelineRunResult", "RunResult"]
 
 
-@dataclass(frozen=True)
-class PipelineRunResult:
-    """Measured behaviour of one pipelined run.
+class PipelineRunResult(RunResult):
+    """Thin deprecated alias of :class:`repro.results.RunResult`.
 
-    Attributes
-    ----------
-    tau_in:
-        Input arrival period used for the run.
-    completion_times:
-        Absolute completion instant of each invocation (all invocations,
-        including warm-up).
-    warmup:
-        Number of leading invocations excluded from the statistics while
-        the pipeline fills.
-    critical_path_length:
-        The TFG's Lambda, the normalized-latency denominator.
-    technique:
-        ``"wormhole"`` or ``"scheduled"`` — which routing produced the run.
+    Kept so existing code that constructs or type-checks against
+    ``PipelineRunResult`` keeps working; new code should use
+    :class:`~repro.results.RunResult`.  (`isinstance` checks against
+    this class do **not** match results returned by the runners — they
+    return :class:`~repro.results.RunResult` directly — which is exactly
+    why constructing it warns.)
     """
 
-    tau_in: float
-    completion_times: tuple[float, ...]
-    warmup: int
-    critical_path_length: float
-    technique: str = "wormhole"
-    extra: dict = field(default_factory=dict, compare=False)
-
     def __post_init__(self) -> None:
-        if self.warmup < 0:
-            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
-        if len(self.completion_times) - self.warmup < 3:
-            raise ValueError(
-                "need at least 3 post-warmup invocations to measure intervals "
-                f"(got {len(self.completion_times)} with warmup={self.warmup})"
-            )
-
-    # -- measured series -----------------------------------------------------
-
-    @property
-    def measured_completions(self) -> tuple[float, ...]:
-        """Completion times after the warm-up window."""
-        return self.completion_times[self.warmup:]
-
-    @property
-    def intervals(self) -> list[float]:
-        """Output-generation intervals (the paper's delta_out series)."""
-        return output_intervals(self.measured_completions)
-
-    @property
-    def latencies(self) -> list[float]:
-        """Per-invocation latency: completion minus that invocation's
-        input-arrival instant ``j * tau_in``."""
-        return [
-            t - (self.warmup + j) * self.tau_in
-            for j, t in enumerate(self.measured_completions)
-        ]
-
-    # -- paper-normalized statistics ---------------------------------------
-
-    def throughput_stats(self) -> SpikeStats:
-        """Normalized throughput spike (tau_in / tau_out)."""
-        return normalized_throughput_stats(self.intervals, self.tau_in)
-
-    def latency_stats(self) -> SpikeStats:
-        """Normalized latency spike (lambda / Lambda)."""
-        return normalized_latency_stats(self.latencies, self.critical_path_length)
-
-    def has_oi(self, rel_tol: float = 1e-6) -> bool:
-        """Output inconsistency: output intervals not all equal to tau_in."""
-        return has_output_inconsistency(self.intervals, self.tau_in, rel_tol)
-
-    def jitter(self):
-        """Magnitude of the output-timing irregularity (post warm-up).
-
-        Returns a :class:`~repro.metrics.jitter.JitterReport`; a run free
-        of output inconsistency has zero peak-to-peak jitter.
-        """
-        from repro.metrics.jitter import jitter_report
-
-        return jitter_report(self.measured_completions, self.tau_in)
-
-    def __repr__(self) -> str:
-        thr = self.throughput_stats()
-        return (
-            f"<PipelineRunResult {self.technique} tau_in={self.tau_in:.3f} "
-            f"throughput=[{thr.minimum:.3f},{thr.mean:.3f},{thr.maximum:.3f}] "
-            f"oi={self.has_oi()}>"
+        warnings.warn(
+            "PipelineRunResult is deprecated; use repro.results.RunResult",
+            DeprecationWarning,
+            stacklevel=3,
         )
+        super().__post_init__()

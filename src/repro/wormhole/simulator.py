@@ -34,11 +34,12 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import AllocationError, SimulationError
 from repro.mapping.allocation import validate_allocation
+from repro.results import RunConfig, RunResult, resolve_run_config
 from repro.sim import Environment, Event, Interrupt, Monitor, Resource
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Link, Topology
 from repro.topology.routing import links_on_path, lsd_to_msd_route, validate_path
-from repro.wormhole.results import PipelineRunResult
+from repro.trace.tracer import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.models import FaultTrace
@@ -125,12 +126,24 @@ class WormholeSimulator:
     def run(
         self,
         tau_in: float,
-        invocations: int = 40,
-        warmup: int = 8,
+        invocations: int | None = None,
+        warmup: int | None = None,
         max_recoveries: int | None = None,
         fault_trace: "FaultTrace | None" = None,
-    ) -> PipelineRunResult:
+        *,
+        config: RunConfig | None = None,
+    ) -> RunResult:
         """Simulate ``invocations`` periodic invocations at period ``tau_in``.
+
+        Run parameters come from ``config`` (a
+        :class:`~repro.results.RunConfig`, the unified run API); the
+        individual keywords are retained as a thin shim and, when
+        given, override the corresponding config fields.  A
+        :class:`~repro.trace.tracer.TraceRecorder` in
+        ``config.tracer`` captures the run as structured events —
+        ``flight`` spans per message instance, ``link``
+        occupancy/blocked spans per channel, ``task`` spans, ``run``
+        completion instants — and rides back on the result's ``trace``.
 
         ``max_recoveries`` bounds deadlock recoveries (see the module
         docstring); it defaults to ``500 * invocations``.  Exhausting it
@@ -146,6 +159,16 @@ class WormholeSimulator:
         link and the run is declared stuck after
         :data:`MAX_FAULT_ABORTS_PER_FLIGHT` futile retries.
         """
+        config = resolve_run_config(
+            config,
+            invocations=invocations,
+            warmup=warmup,
+            max_recoveries=max_recoveries,
+            fault_trace=fault_trace,
+        )
+        invocations, warmup = config.invocations, config.warmup
+        max_recoveries, fault_trace = config.max_recoveries, config.fault_trace
+        tracer = config.tracer
         if tau_in < self.timing.tau_c:
             raise SimulationError(
                 f"tau_in={tau_in} below tau_c={self.timing.tau_c}: input "
@@ -157,7 +180,7 @@ class WormholeSimulator:
                 f"warmup={warmup}"
             )
 
-        env = Environment()
+        env = Environment(tracer=tracer)
         links: dict[Link, Resource] = {
             link: Resource(env, capacity=self.virtual_channels, name=str(link))
             for link in self.topology.links
@@ -213,6 +236,7 @@ class WormholeSimulator:
             key = (message.name, j)
             src_node = self.allocation[message.src]
             dst_node = self.allocation[message.dst]
+            launched = env.now
             if src_node == dst_node:
                 deliveries[key].succeed()
                 return
@@ -230,6 +254,11 @@ class WormholeSimulator:
                         self.timing.xmit_time(message.name) * xmit_scale
                     )
                     links[link].release(request)
+                if tracer.enabled:
+                    tracer.span(
+                        "flight", message.name, launched, env.now,
+                        track=f"msg {message.name}", invocation=j,
+                    )
                 deliveries[key].succeed()
                 return
             while True:
@@ -240,7 +269,7 @@ class WormholeSimulator:
                     waiting[key] = (request, link, held)
                     try:
                         yield request
-                    except Interrupt:
+                    except Interrupt as interrupt:
                         waiting.pop(key, None)
                         if request.triggered:
                             links[link].release(request)
@@ -248,6 +277,12 @@ class WormholeSimulator:
                             links[link].cancel(request)
                         for held_link, held_request in held:
                             links[held_link].release(held_request)
+                        if tracer.enabled:
+                            tracer.instant(
+                                "flight", "abort", env.now,
+                                track=f"msg {message.name}", invocation=j,
+                                cause=str(interrupt.cause),
+                            )
                         aborted = True
                         break
                     waiting.pop(key, None)
@@ -265,6 +300,11 @@ class WormholeSimulator:
             yield env.timeout(self.timing.xmit_time(message.name) * xmit_scale)
             for link, request in held:
                 links[link].release(request)
+            if tracer.enabled:
+                tracer.span(
+                    "flight", message.name, launched, env.now,
+                    track=f"msg {message.name}", invocation=j,
+                )
             deliveries[key].succeed()
 
         def task_instance(task, j, spawn_flight):
@@ -278,8 +318,14 @@ class WormholeSimulator:
             ap = aps[self.allocation[task.name]]
             grant = ap.request(owner=(task.name, j))
             yield grant
+            exec_start = env.now
             yield env.timeout(self.timing.exec_time(task.name))
             ap.release(grant)
+            if tracer.enabled:
+                tracer.span(
+                    "task", task.name, exec_start, env.now,
+                    track=f"node{self.allocation[task.name]}", invocation=j,
+                )
             instance_done[(task.name, j)].succeed(env.now)
             for message in self.tfg.messages_out(task.name):
                 spawn_flight(message, j)
@@ -287,6 +333,11 @@ class WormholeSimulator:
                 outputs_pending[j] -= 1
                 if outputs_pending[j] == 0:
                     completions.record(env.now, j)
+                    if tracer.enabled:
+                        tracer.instant(
+                            "run", "completion", env.now,
+                            track="outputs", invocation=j,
+                        )
 
         env.process(input_source())
         flight_processes: dict[tuple[str, int], object] = {}
@@ -326,6 +377,11 @@ class WormholeSimulator:
                     f"blocked messages: {blocked}{detail}"
                 )
             recoveries += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "flight", "recovery", env.now,
+                    track=f"msg {victim[0]}", invocation=victim[1],
+                )
             flight_processes[victim].interrupt(cause="deadlock recovery")
 
         completion_times = tuple(time for time, _ in completions)
@@ -337,13 +393,14 @@ class WormholeSimulator:
         if injector is not None:
             extra["fault_events"] = injector.events
             extra["fault_aborts"] = sum(fault_aborts.values())
-        return PipelineRunResult(
+        return RunResult(
             tau_in=tau_in,
             completion_times=completion_times,
             warmup=warmup,
             critical_path_length=self.timing.critical_path().length,
             technique="wormhole",
             extra=extra,
+            trace=tracer if isinstance(tracer, TraceRecorder) else None,
         )
 
     @staticmethod

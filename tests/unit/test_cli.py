@@ -136,6 +136,47 @@ class TestFaultsCommand:
         assert len(lines) == 2 and lines[0] == lines[1]
 
 
+class TestTraceCommand:
+    def test_sr_trace_emits_profile_and_chrome_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        code = main([
+            "trace", "--mode", "sr", "--topology", "hypercube6",
+            "--models", "5", "--load", "0.5", "--invocations", "8",
+            "--warmup", "4", "--out", str(target), "--chart", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compile profile" in out
+        assert "assign-paths" in out
+        assert "OI=False" in out
+        assert "traced link occupancy" in out
+        doc = json.loads(target.read_text())
+        assert doc["traceEvents"]
+        phases = {record["ph"] for record in doc["traceEvents"]}
+        assert {"M", "X"} <= phases
+        cats = {record.get("cat") for record in doc["traceEvents"]}
+        assert {"compile", "link", "crossbar"} <= cats
+
+    def test_wr_trace_runs_wormhole(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "trace.json"
+        code = main([
+            "trace", "--mode", "wr", "--topology", "hypercube6",
+            "--models", "5", "--load", "0.5", "--invocations", "8",
+            "--warmup", "4", "--out", str(target),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WR run" in out
+        assert "compile profile" not in out
+        doc = json.loads(target.read_text())
+        cats = {record.get("cat") for record in doc["traceEvents"]}
+        assert "flight" in cats and "compile" not in cats
+
+
 class TestAllocatorOption:
     def test_random_allocator_is_seed_reproducible(self, capsys):
         args = [
