@@ -7,10 +7,20 @@ paper states in prose are asserted:
 
 - GHC(4,4,4) >= 6-cube >= tori in schedulable points at B = 64,
 - every machine weakly improves when bandwidth doubles.
+
+Environment knobs (all optional) drive the CI cold/warm cache job:
+
+- ``MATRIX_JOBS``: worker processes for the sweep (default 1, serial).
+- ``MATRIX_CACHE_DIR``: directory for the content-addressed schedule
+  cache; rerunning with the same directory turns the sweep into lookups.
+- ``MATRIX_MIN_HIT_RATE``: when set, assert the cache hit rate reached
+  this fraction (e.g. ``0.9`` on a warm rerun).
 """
 
+import os
+
 from benchmarks.conftest import COMPILER, LOADS
-from repro.experiments.matrix import feasibility_matrix, format_matrix
+from repro.experiments.matrix import format_matrix_result, run_feasibility_matrix
 from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
 
 
@@ -21,18 +31,32 @@ def test_feasibility_matrix(benchmark, dvb):
         Torus((8, 8)),
         Torus((4, 4, 4)),
     ]
+    jobs = int(os.environ.get("MATRIX_JOBS", "1"))
+    cache_dir = os.environ.get("MATRIX_CACHE_DIR") or None
 
     def sweep():
-        return feasibility_matrix(
-            dvb, topologies, [64.0, 128.0], LOADS, config=COMPILER
+        return run_feasibility_matrix(
+            dvb, topologies, [64.0, 128.0], LOADS, config=COMPILER,
+            jobs=jobs, cache=cache_dir,
         )
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
-    print(format_matrix(rows))
+    print(format_matrix_result(result))
+
+    min_hit_rate = os.environ.get("MATRIX_MIN_HIT_RATE")
+    if min_hit_rate is not None:
+        assert result.cache_stats is not None, (
+            "MATRIX_MIN_HIT_RATE requires MATRIX_CACHE_DIR"
+        )
+        assert result.hit_rate >= float(min_hit_rate), (
+            f"cache hit rate {result.hit_rate:.1%} below the "
+            f"required {float(min_hit_rate):.1%}"
+        )
 
     counts = {
-        (row.topology, row.bandwidth): row.feasible_count for row in rows
+        (row.topology, row.bandwidth): row.feasible_count
+        for row in result.rows
     }
     # The paper's prose orderings.
     assert counts[("GHC(4,4,4)", 64.0)] >= counts[("GHC(2,2,2,2,2,2)", 64.0)]

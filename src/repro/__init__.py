@@ -23,6 +23,7 @@ See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 figure-by-figure reproduction harness.
 """
 
+from repro.cache import CacheStats, ScheduleCache, schedule_cache_key
 from repro.core import (
     CommunicationSchedule,
     CompilerConfig,
@@ -77,6 +78,7 @@ from repro.topology import (
     lsd_to_msd_route,
 )
 from repro.results import RunConfig, RunResult
+from repro.solvers import available_backends, default_backend_name, get_backend
 from repro.trace import (
     CompileProfile,
     CompileProfiler,
@@ -93,7 +95,6 @@ from repro.viz import (
 from repro.wormhole import (
     AdaptiveWormholeSimulator,
     OiRisk,
-    PipelineRunResult,
     WormholeSimulator,
     predict_oi_risks,
 )
@@ -102,6 +103,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveWormholeSimulator",
+    "CacheStats",
     "CommunicationSchedule",
     "CompileProfile",
     "CompileProfiler",
@@ -115,10 +117,10 @@ __all__ = [
     "Mesh",
     "OiRisk",
     "Message",
-    "PipelineRunResult",
     "ReproError",
     "RunConfig",
     "RunResult",
+    "ScheduleCache",
     "ScheduleValidationError",
     "ScheduledRouting",
     "ScheduledRoutingExecutor",
@@ -135,13 +137,16 @@ __all__ = [
     "WormholeSimulator",
     "annealed_allocation",
     "assign_paths",
+    "available_backends",
     "bfs_allocation",
     "binary_hypercube",
     "compile_schedule",
     "compute_time_bounds",
+    "default_backend_name",
     "dvb_tfg",
     "enumerate_minimal_paths",
     "feasibility_bounds",
+    "get_backend",
     "jitter_report",
     "link_occupancy_chart",
     "load_schedule",
@@ -154,6 +159,7 @@ __all__ = [
     "random_allocation",
     "random_layered_tfg",
     "save_schedule",
+    "schedule_cache_key",
     "sequential_allocation",
     "sparkline",
     "speeds_for_ratio",

@@ -1,0 +1,54 @@
+"""Content-addressed schedule caching.
+
+Compiling a schedule is LP-heavy; its inputs (TFG + timing + topology +
+allocation + period + config) are pure values.  This package hashes
+those values into a stable key (:mod:`repro.cache.keys`) and stores the
+compiled :class:`~repro.core.switching.CommunicationSchedule` — or the
+:class:`~repro.errors.SchedulingError` the compilation raised — under it
+(:mod:`repro.cache.store`), so the feasibility matrix, the fault-repair
+engine and repeated CLI runs reuse prior work:
+
+>>> from repro.cache import ScheduleCache
+>>> cache = ScheduleCache("~/.cache/repro-schedules")   # or ScheduleCache()
+>>> routing = compile_schedule(timing, topo, alloc, tau, config, cache=cache)
+>>> cache.stats.as_dict()
+{'hits': 0, 'misses': 1, 'stores': 1, 'invalidations': 0, 'hit_rate': 0.0}
+
+See ``docs/compiler.md`` for the key scheme and invalidation rules.
+"""
+
+from repro.cache.keys import (
+    CACHE_VERSION,
+    cache_key_payload,
+    canonical_allocation,
+    canonical_config,
+    canonical_tfg,
+    canonical_timing,
+    canonical_topology,
+    schedule_cache_key,
+)
+from repro.cache.store import (
+    CacheStats,
+    ScheduleCache,
+    entry_to_error,
+    entry_to_routing,
+    error_to_entry,
+    routing_to_entry,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ScheduleCache",
+    "cache_key_payload",
+    "canonical_allocation",
+    "canonical_config",
+    "canonical_tfg",
+    "canonical_timing",
+    "canonical_topology",
+    "entry_to_error",
+    "entry_to_routing",
+    "error_to_entry",
+    "routing_to_entry",
+    "schedule_cache_key",
+]

@@ -1,0 +1,117 @@
+"""Content-addressed cache keys for compiled schedules.
+
+A compilation is fully determined by five inputs: the task-flow graph,
+its timing (bandwidth, speeds, message window), the topology's link set,
+the task→node allocation, the input period, and the compiler config.
+:func:`schedule_cache_key` canonicalizes all of them into one JSON
+payload and hashes it with SHA-256, so the key is
+
+- **stable** — independent of ``PYTHONHASHSEED``, process, platform and
+  dict insertion tricks (every mapping is emitted with sorted keys;
+  floats round-trip exactly through ``repr``);
+- **complete** — any input that can change the compiled schedule is in
+  the payload, including every :class:`~repro.core.compiler.
+  CompilerConfig` field, so perturbing a single field yields a
+  different key;
+- **structural for topologies** — the key hashes the actual link set,
+  not the topology's display name, so two residual topologies that both
+  print as ``hypercube(6)-2down`` but lost different links get
+  different keys.
+
+Bump :data:`CACHE_VERSION` whenever the payload layout or the
+serialized entry format changes; old entries then miss instead of
+deserializing wrongly (the invalidation rule — see ``docs/compiler.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiler import CompilerConfig
+    from repro.tfg.analysis import TFGTiming
+    from repro.tfg.graph import TaskFlowGraph
+    from repro.topology.base import Topology
+
+#: Version stamp baked into every key and every stored entry.
+CACHE_VERSION = "repro.cache/1"
+
+
+def canonical_tfg(tfg: "TaskFlowGraph") -> dict[str, Any]:
+    """The TFG as a plain, deterministically ordered structure."""
+    return {
+        "name": tfg.name,
+        "tasks": [[task.name, task.ops] for task in tfg.tasks],
+        "messages": [
+            [m.name, m.src, m.dst, m.size_bytes] for m in tfg.messages
+        ],
+    }
+
+
+def canonical_timing(timing: "TFGTiming") -> dict[str, Any]:
+    """Timing inputs: TFG plus bandwidth, speeds and message window."""
+    return {
+        "tfg": canonical_tfg(timing.tfg),
+        "bandwidth": timing.bandwidth,
+        "speeds": sorted(
+            (task.name, timing.speed(task.name)) for task in timing.tfg.tasks
+        ),
+        "message_window": timing.message_window,
+    }
+
+
+def canonical_topology(topology: "Topology") -> dict[str, Any]:
+    """The topology as its actual link set (not its display name).
+
+    The name is included for debuggability but the links are what makes
+    residual topologies with equal names distinguishable.
+    """
+    return {
+        "name": topology.name,
+        "radices": list(topology.radices),
+        "links": sorted([a, b] for a, b in topology.links),
+    }
+
+
+def canonical_allocation(allocation: Mapping[str, int]) -> list[list[Any]]:
+    """The task→node map as a sorted pair list."""
+    return sorted([task, int(node)] for task, node in allocation.items())
+
+
+def canonical_config(config: "CompilerConfig") -> dict[str, Any]:
+    """Every config field; new fields invalidate old keys automatically."""
+    return asdict(config)
+
+
+def cache_key_payload(
+    timing: "TFGTiming",
+    topology: "Topology",
+    allocation: Mapping[str, int],
+    tau_in: float,
+    config: "CompilerConfig",
+) -> dict[str, Any]:
+    """The full canonical payload a key hashes (exposed for tests)."""
+    return {
+        "version": CACHE_VERSION,
+        "timing": canonical_timing(timing),
+        "topology": canonical_topology(topology),
+        "allocation": canonical_allocation(allocation),
+        "tau_in": float(tau_in),
+        "config": canonical_config(config),
+    }
+
+
+def schedule_cache_key(
+    timing: "TFGTiming",
+    topology: "Topology",
+    allocation: Mapping[str, int],
+    tau_in: float,
+    config: "CompilerConfig",
+) -> str:
+    """SHA-256 hex digest of the canonical compilation inputs."""
+    payload = cache_key_payload(timing, topology, allocation, tau_in, config)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,305 @@
+"""The schedule cache: an in-memory tier over an optional on-disk tier.
+
+Entries are JSON documents addressed by the content key of
+:mod:`repro.cache.keys`.  Two kinds exist:
+
+- ``"schedule"`` — a successful compilation: the serialized
+  :class:`~repro.core.switching.CommunicationSchedule` (via
+  :mod:`repro.core.io`) plus the subsets/allocations/attempt metadata
+  needed to rebuild a full :class:`~repro.core.compiler.ScheduledRouting`;
+- ``"failure"`` — a *negative* entry recording which
+  :class:`~repro.errors.SchedulingError` a compilation raised, so the
+  feasibility matrix's infeasible points also hit on warm runs instead
+  of re-running the LPs just to fail identically.
+
+:meth:`ScheduleCache.fetch` returns a rebuilt routing on a schedule hit,
+**raises** the reconstructed error on a failure hit, and returns ``None``
+on a miss.  Disk writes are atomic (temp file + ``os.replace``) so
+parallel matrix workers sharing one cache directory never observe a
+torn entry; entries with an unknown format version or unparsable JSON
+are dropped and counted as invalidations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.cache.keys import CACHE_VERSION
+from repro.core.assignment import PathAssignment
+from repro.core.interval_allocation import IntervalAllocation
+from repro.core.io import schedule_from_dict, schedule_to_dict
+from repro.core.utilization import utilization_report
+from repro.errors import (
+    IntervalAllocationError,
+    IntervalSchedulingError,
+    SchedulingError,
+    UtilizationExceededError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiler import ScheduledRouting
+    from repro.topology.base import Topology
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def routing_to_entry(routing: "ScheduledRouting") -> dict[str, Any]:
+    """Serialize a successful compilation to a JSON-able entry."""
+    return {
+        "format": CACHE_VERSION,
+        "kind": "schedule",
+        "schedule": schedule_to_dict(routing.schedule),
+        "subsets": [list(subset) for subset in routing.subsets],
+        "allocations": [
+            {
+                "subset": list(a.subset),
+                "cells": [
+                    [name, k, t] for (name, k), t in a.allocation.items()
+                ],
+                "load_factor": a.load_factor,
+            }
+            for a in routing.allocations
+        ],
+        "tau_in": routing.tau_in,
+        "local_messages": list(routing.local_messages),
+        "attempts": routing.attempts,
+        "solver_stats": routing.extra.get("solver_stats"),
+    }
+
+
+def entry_to_routing(
+    entry: Mapping[str, Any],
+    topology: "Topology",
+    key: str,
+) -> "ScheduledRouting":
+    """Rebuild a :class:`ScheduledRouting` from a ``"schedule"`` entry.
+
+    The schedule itself round-trips exactly through
+    :mod:`repro.core.io` (and is re-validated on load); the utilisation
+    report is recomputed from the deserialized bounds and paths on the
+    given topology — a cheap matrix evaluation, no LP work.
+    """
+    from repro.core.compiler import ScheduledRouting
+
+    schedule = schedule_from_dict(entry["schedule"])
+    endpoints = {
+        name: (path[0], path[-1])
+        for name, path in schedule.assignment.items()
+    }
+    assignment = PathAssignment(
+        topology,
+        endpoints,
+        {name: list(path) for name, path in schedule.assignment.items()},
+    )
+    report = utilization_report(schedule.bounds, assignment)
+    allocations = [
+        IntervalAllocation(
+            subset=tuple(a["subset"]),
+            allocation={
+                (name, int(k)): float(t) for name, k, t in a["cells"]
+            },
+            load_factor=float(a["load_factor"]),
+        )
+        for a in entry["allocations"]
+    ]
+    routing = ScheduledRouting(
+        schedule=schedule,
+        utilization=report,
+        bounds=schedule.bounds,
+        subsets=[tuple(subset) for subset in entry["subsets"]],
+        allocations=allocations,
+        tau_in=float(entry["tau_in"]),
+        local_messages=tuple(entry["local_messages"]),
+        attempts=int(entry["attempts"]),
+    )
+    if entry.get("solver_stats") is not None:
+        routing.extra["solver_stats"] = dict(entry["solver_stats"])
+    routing.extra["cache"] = {"hit": True, "key": key}
+    return routing
+
+
+def error_to_entry(error: SchedulingError) -> dict[str, Any]:
+    """Serialize a compilation failure to a negative entry."""
+    args: dict[str, Any] = {}
+    if isinstance(error, UtilizationExceededError):
+        args = {"peak": error.peak, "witness": error.witness}
+    elif isinstance(error, IntervalAllocationError):
+        args = {"subset_index": error.subset_index}
+    elif isinstance(error, IntervalSchedulingError):
+        args = {
+            "interval_index": error.interval_index,
+            "required": error.required,
+            "available": error.available,
+        }
+    return {
+        "format": CACHE_VERSION,
+        "kind": "failure",
+        "type": type(error).__name__,
+        "stage": error.stage,
+        "message": str(error),
+        "args": args,
+    }
+
+
+def entry_to_error(entry: Mapping[str, Any]) -> SchedulingError:
+    """Reconstruct the exact error class a ``"failure"`` entry recorded."""
+    kind = entry["type"]
+    args = entry.get("args", {})
+    error: SchedulingError
+    if kind == "UtilizationExceededError":
+        error = UtilizationExceededError(
+            float(args["peak"]), args.get("witness", "")
+        )
+    elif kind == "IntervalAllocationError":
+        error = IntervalAllocationError(int(args["subset_index"]))
+    elif kind == "IntervalSchedulingError":
+        error = IntervalSchedulingError(
+            int(args["interval_index"]),
+            float(args["required"]),
+            float(args["available"]),
+        )
+    else:
+        error = SchedulingError(entry["message"])
+    # Keep the original message text rather than the regenerated one.
+    error.args = (entry["message"],)
+    return error
+
+
+class ScheduleCache:
+    """Content-addressed schedule cache (memory tier + optional disk tier).
+
+    Parameters
+    ----------
+    directory:
+        When given, entries are also persisted as
+        ``<directory>/<key[:2]>/<key>.json`` and survive the process;
+        multiple processes may share the directory (writes are atomic).
+        When ``None`` the cache is purely in-memory.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, dict[str, Any]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        tier = str(self.directory) if self.directory else "memory"
+        return (
+            f"<ScheduleCache [{tier}] {len(self._memory)} entries, "
+            f"{self.stats.hits}h/{self.stats.misses}m>"
+        )
+
+    def _disk_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def fetch(
+        self, key: str, topology: "Topology | None" = None
+    ) -> "ScheduledRouting | None":
+        """Look up a key; see the module docstring for the contract."""
+        entry = self._memory.get(key)
+        if entry is None and self.directory is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if entry["kind"] == "failure":
+            raise entry_to_error(entry)
+        return entry_to_routing(entry, topology, key)
+
+    def store(self, key: str, routing: "ScheduledRouting") -> None:
+        """Record a successful compilation."""
+        self._put(key, routing_to_entry(routing))
+
+    def store_failure(self, key: str, error: SchedulingError) -> None:
+        """Record a compilation failure (negative caching)."""
+        self._put(key, error_to_entry(error))
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry from both tiers."""
+        dropped = self._memory.pop(key, None) is not None
+        if self.directory is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                path.unlink()
+                dropped = True
+        if dropped:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries stay)."""
+        self._memory.clear()
+
+    def _put(self, key: str, entry: dict[str, Any]) -> None:
+        self._memory[key] = entry
+        self.stats.stores += 1
+        if self.directory is None:
+            return
+        path = self._disk_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(entry, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):  # pragma: no cover - cleanup path
+                os.unlink(tmp)
+            raise
+
+    def _read_disk(self, key: str) -> dict[str, Any] | None:
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            entry = None
+        if not isinstance(entry, dict) or entry.get("format") != CACHE_VERSION:
+            # Torn write, tampering, or a stale format: drop and count.
+            self.stats.invalidations += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            return None
+        return entry

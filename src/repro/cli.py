@@ -5,6 +5,7 @@ Runs a figure-style experiment from the shell::
     repro-sr utilization --topology hypercube6 --bandwidth 64
     repro-sr pipeline --topology torus4x4x4 --bandwidth 128 --loads 0.5 1.0
     repro-sr compile --topology ghc444 --bandwidth 64 --load 0.5
+    repro-sr matrix --jobs 4 --cache-dir ~/.cache/repro-schedules
     repro-sr faults --topology 6cube --fail-links 1 --seed 0
     repro-sr trace --mode sr --load 0.5 --out trace.json
 """
@@ -148,13 +149,19 @@ def _cmd_pipeline(args) -> int:
 def _cmd_compile(args) -> int:
     setup = _setup(args)
     tau_in = setup.tau_in_for_load(args.load)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.cache import ScheduleCache
+
+        cache = ScheduleCache(args.cache_dir)
     try:
         routing = compile_schedule(
             setup.timing,
             setup.topology,
             setup.allocation,
             tau_in,
-            CompilerConfig(seed=args.seed),
+            CompilerConfig(seed=args.seed, lp_backend=args.lp_backend),
+            cache=cache,
         )
     except SchedulingError as error:
         print(f"infeasible at load {args.load}: {error}")
@@ -165,6 +172,9 @@ def _cmd_compile(args) -> int:
         f"{routing.schedule.num_commands} switching commands over "
         f"{len(routing.schedule.node_schedules)} nodes"
     )
+    if cache is not None:
+        hit = routing.extra.get("cache", {}).get("hit", False)
+        print(f"cache: {'hit' if hit else 'miss'} ({args.cache_dir})")
     if args.export:
         from repro.core.io import save_schedule
 
@@ -175,6 +185,30 @@ def _cmd_compile(args) -> int:
 
         print()
         print(node_gantt(routing.schedule, args.gantt))
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.experiments.matrix import (
+        format_matrix_result,
+        run_feasibility_matrix,
+    )
+
+    loads = args.loads or load_sweep()
+    names = args.topologies or sorted(TOPOLOGIES)
+    topologies = [make_topology(name) for name in names]
+    allocator = _allocator(args)
+    result = run_feasibility_matrix(
+        dvb_tfg(args.models),
+        topologies,
+        args.bandwidths,
+        loads,
+        config=CompilerConfig(seed=args.seed, lp_backend=args.lp_backend),
+        allocation=lambda tfg, topology: allocator(tfg, topology),
+        jobs=args.jobs,
+        cache=args.cache_dir,
+    )
+    print(format_matrix_result(result))
     return 0
 
 
@@ -356,7 +390,52 @@ def main(argv: list[str] | None = None) -> int:
         "--gantt", type=int, metavar="NODE", default=None,
         help="print the switching-schedule Gantt chart of one node",
     )
+    p_comp.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed schedule cache directory (reused across runs)",
+    )
+    p_comp.add_argument(
+        "--lp-backend",
+        choices=("auto", "highs", "highs-ds", "reference"),
+        default="auto",
+        help="LP solver backend for both LP stages",
+    )
     p_comp.set_defaults(func=_cmd_compile)
+
+    p_matrix = sub.add_parser(
+        "matrix", help="feasibility matrix over topologies x bandwidths x loads"
+    )
+    p_matrix.add_argument(
+        "--topologies", nargs="*",
+        choices=sorted(TOPOLOGIES) + sorted(TOPOLOGY_ALIASES),
+        default=None,
+        help="machines to sweep (default: all)",
+    )
+    p_matrix.add_argument(
+        "--bandwidths", type=float, nargs="*", default=[64.0, 128.0]
+    )
+    p_matrix.add_argument("--loads", type=float, nargs="*", default=None)
+    p_matrix.add_argument("--models", type=int, default=8, help="DVB object models")
+    p_matrix.add_argument("--seed", type=int, default=0)
+    p_matrix.add_argument(
+        "--allocator", choices=ALLOCATORS, default="sequential",
+        help="task placement strategy (random/annealed honour --seed)",
+    )
+    p_matrix.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes compiling matrix points in parallel",
+    )
+    p_matrix.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="shared schedule cache directory (warm reruns skip the LPs)",
+    )
+    p_matrix.add_argument(
+        "--lp-backend",
+        choices=("auto", "highs", "highs-ds", "reference"),
+        default="auto",
+        help="LP solver backend for both LP stages",
+    )
+    p_matrix.set_defaults(func=_cmd_matrix)
 
     p_faults = sub.add_parser(
         "faults",

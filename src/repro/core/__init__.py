@@ -34,6 +34,12 @@ from repro.core.assignment import PathAssignment
 from repro.core.compiler import CompilerConfig, ScheduledRouting, compile_schedule
 from repro.core.executor import ScheduledRoutingExecutor
 from repro.core.interval_allocation import IntervalAllocation, allocate_intervals
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilerStage,
+    compile_stages,
+    run_stages,
+)
 from repro.core.interval_scheduling import IntervalSchedule, schedule_intervals
 from repro.core.subsets import maximal_subsets
 from repro.core.switching import (
@@ -48,7 +54,9 @@ from repro.core.utilization import UtilizationReport, utilization_report
 __all__ = [
     "AssignPathsResult",
     "CommunicationSchedule",
+    "CompilationContext",
     "CompilerConfig",
+    "CompilerStage",
     "IntervalAllocation",
     "IntervalSchedule",
     "IntervalSet",
@@ -64,8 +72,10 @@ __all__ = [
     "allocate_intervals",
     "assign_paths",
     "compile_schedule",
+    "compile_stages",
     "lsd_assignment",
     "maximal_subsets",
+    "run_stages",
     "schedule_intervals",
     "utilization_report",
 ]

@@ -1,36 +1,54 @@
 """The end-to-end scheduled-routing compiler (paper Fig. 3).
 
-``compile_schedule`` chains every stage: time bounds -> path assignment ->
-peak-utilisation gate -> maximal subsets -> message-interval allocation ->
-interval scheduling -> node switching schedules, and machine-validates the
-result.  Failures raise the stage-specific
-:class:`~repro.errors.SchedulingError` subclasses; the compiler can retry
+``compile_schedule`` drives the explicit stage pipeline declared in
+:mod:`repro.core.pipeline` — time bounds → path assignment →
+peak-utilisation gate → maximal subsets → message-interval allocation →
+interval scheduling → node switching schedules — and machine-validates
+the result.  Failures raise the stage-specific
+:class:`~repro.errors.SchedulingError` subclasses; the compiler retries
 the downstream stages under fresh path-assignment seeds (the feedback
 between steps the paper's concluding remarks propose).
+
+The LP stages solve through the backend named by
+``CompilerConfig.lp_backend`` (see :mod:`repro.solvers`); an optional
+:class:`~repro.cache.ScheduleCache` short-circuits whole compilations
+whose content-addressed inputs were seen before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
-from repro.core.assign_paths import assign_paths, lsd_assignment
-from repro.core.assignment import PathAssignment
-from repro.core.interval_allocation import IntervalAllocation, allocate_intervals
-from repro.core.interval_scheduling import schedule_intervals
-from repro.core.subsets import maximal_subsets
-from repro.core.switching import CommunicationSchedule, build_schedule
-from repro.core.timebounds import TimeBoundSet, compute_time_bounds
-from repro.core.utilization import UtilizationReport, utilization_report
-from repro.errors import (
-    IntervalSchedulingError,
-    SchedulingError,
-    UtilizationExceededError,
+from repro.core.interval_allocation import IntervalAllocation
+from repro.core.pipeline import (
+    POST_ASSIGNMENT_STAGES,
+    CompilationContext,
+    TimeBoundsStage,
+    compile_stages,
+    routed_and_local_messages,
+    run_stages,
 )
+from repro.core.switching import CommunicationSchedule
+from repro.core.timebounds import TimeBoundSet
+from repro.core.utilization import UtilizationReport
+from repro.errors import SchedulingError
 from repro.mapping.allocation import validate_allocation
+from repro.solvers import LPBackend, get_backend
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Topology
 from repro.trace.profile import NULL_PROFILER, CompileProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ScheduleCache
+
+__all__ = [
+    "CompilerConfig",
+    "ScheduledRouting",
+    "compile_schedule",
+    "routed_and_local_messages",
+    "schedule_from_assignment",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +78,11 @@ class CompilerConfig:
         CP clock-synchronization guard added to every message's
         transmission requirement (concluding-remarks extension), in
         microseconds.
+    lp_backend:
+        Name of the LP solver backend both LP stages use (see
+        :func:`repro.solvers.get_backend`): ``"auto"`` (default —
+        scipy's HiGHS when available, the pure-Python reference simplex
+        otherwise), ``"highs"``, ``"highs-ds"`` or ``"reference"``.
     """
 
     seed: int = 0
@@ -69,6 +92,7 @@ class CompilerConfig:
     retries: int = 2
     feedback_rounds: int = 2
     sync_margin: float = 0.0
+    lp_backend: str = "auto"
 
 
 @dataclass
@@ -102,21 +126,6 @@ class ScheduledRouting:
         )
 
 
-def routed_and_local_messages(
-    timing: TFGTiming,
-    allocation: Mapping[str, int],
-) -> tuple[list[str], list[str]]:
-    """Split messages into network-traversing and node-local ones."""
-    routed: list[str] = []
-    local: list[str] = []
-    for message in timing.tfg.messages:
-        if allocation[message.src] == allocation[message.dst]:
-            local.append(message.name)
-        else:
-            routed.append(message.name)
-    return routed, local
-
-
 def compile_schedule(
     timing: TFGTiming,
     topology: Topology,
@@ -124,13 +133,21 @@ def compile_schedule(
     tau_in: float,
     config: CompilerConfig | None = None,
     profiler: CompileProfiler | None = None,
+    cache: "ScheduleCache | None" = None,
 ) -> ScheduledRouting:
     """Compile a contention-free communication schedule for one period.
 
     Pass a :class:`~repro.trace.profile.CompileProfiler` to record
     per-stage wall time and problem sizes; the resulting
     :class:`~repro.trace.profile.CompileProfile` also lands in the
-    returned routing's ``extra["compile_profile"]``.
+    returned routing's ``extra["compile_profile"]``.  LP solver totals
+    (backend name, solves, iterations, wall time) always land in
+    ``extra["solver_stats"]``.
+
+    Pass a :class:`~repro.cache.ScheduleCache` to reuse prior results:
+    the compilation inputs are content-hashed and a hit returns the
+    stored schedule (or re-raises the stored failure) without running
+    any stage.
 
     Raises the stage-specific :class:`~repro.errors.SchedulingError`
     subclass of the *last* failed attempt when no attempt succeeds:
@@ -142,94 +159,60 @@ def compile_schedule(
     config = config or CompilerConfig()
     profiler = profiler if profiler is not None else NULL_PROFILER
     validate_allocation(timing.tfg, topology, allocation, exclusive=False)
-    routed, local = routed_and_local_messages(timing, allocation)
-    with profiler.stage(
-        "time-bounds", messages=len(routed), local_messages=len(local)
-    ):
-        bounds = compute_time_bounds(
-            timing, tau_in, routed, extra_duration=config.sync_margin
-        )
-    endpoints = {
-        name: (
-            allocation[timing.tfg.message(name).src],
-            allocation[timing.tfg.message(name).dst],
-        )
-        for name in routed
-    }
 
+    key = None
+    if cache is not None:
+        from repro.cache import schedule_cache_key
+
+        key = schedule_cache_key(timing, topology, allocation, tau_in, config)
+        hit = cache.fetch(key, topology=topology)
+        if hit is not None:
+            return hit
+
+    backend = get_backend(config.lp_backend)
+    context = CompilationContext(
+        tau_in=tau_in,
+        config=config,
+        profiler=profiler,
+        backend=backend,
+        timing=timing,
+        topology=topology,
+        allocation=allocation,
+    )
+    TimeBoundsStage().run(context)
+
+    stages = compile_stages(config)
     attempts = 1 + (config.retries if config.use_assign_paths else 0)
     last_error: SchedulingError | None = None
     for attempt in range(attempts):
+        context.reset_attempt(
+            seed=config.seed + attempt, attempt_number=attempt + 1
+        )
         try:
-            routing = _attempt(
-                bounds, topology, endpoints, tau_in, local, config,
-                seed=config.seed + attempt,
-                attempt_number=attempt + 1,
-                profiler=profiler,
-            )
+            run_stages(stages, context)
         except SchedulingError as error:
             last_error = error
         else:
-            if profiler is not NULL_PROFILER:
-                routing.extra["compile_profile"] = profiler.profile
+            routing = _package(context)
+            if cache is not None:
+                cache.store(key, routing)
             return routing
     assert last_error is not None
+    if cache is not None:
+        cache.store_failure(key, last_error)
     raise last_error
-
-
-def _attempt(
-    bounds: TimeBoundSet,
-    topology: Topology,
-    endpoints: Mapping[str, tuple[int, int]],
-    tau_in: float,
-    local: list[str],
-    config: CompilerConfig,
-    seed: int,
-    attempt_number: int,
-    profiler: CompileProfiler | None = None,
-) -> ScheduledRouting:
-    """One full pipeline attempt under one assignment seed."""
-    profiler = profiler if profiler is not None else NULL_PROFILER
-    if config.use_assign_paths:
-        with profiler.stage(
-            "assign-paths",
-            attempt=attempt_number,
-            messages=len(endpoints),
-            max_paths=config.max_paths,
-        ):
-            heuristic = assign_paths(
-                bounds,
-                topology,
-                endpoints,
-                seed=seed,
-                max_paths=config.max_paths,
-                max_restarts=config.max_restarts,
-            )
-        assignment: PathAssignment = heuristic.assignment
-        report = heuristic.report
-    else:
-        with profiler.stage(
-            "assign-paths(lsd)", attempt=attempt_number, messages=len(endpoints)
-        ):
-            assignment = lsd_assignment(topology, endpoints)
-            report = utilization_report(bounds, assignment)
-
-    return schedule_from_assignment(
-        bounds, assignment, report, tau_in, local, config,
-        attempt_number=attempt_number,
-        profiler=profiler,
-    )
 
 
 def schedule_from_assignment(
     bounds: TimeBoundSet,
-    assignment: PathAssignment,
+    assignment,
     report: UtilizationReport,
     tau_in: float,
     local: list[str],
     config: CompilerConfig,
     attempt_number: int = 1,
     profiler: CompileProfiler | None = None,
+    backend: LPBackend | None = None,
 ) -> ScheduledRouting:
     """Run the post-assignment compiler stages for a fixed path assignment.
 
@@ -241,94 +224,47 @@ def schedule_from_assignment(
     exact machinery (and validation) of a fresh compile.
     """
     profiler = profiler if profiler is not None else NULL_PROFILER
-    if not report.feasible:
-        raise UtilizationExceededError(
-            report.peak,
-            witness=f"{report.witness_kind} {report.witness_link}",
-        )
-
-    with profiler.stage("maximal-subsets", attempt=attempt_number) as detail:
-        subsets = maximal_subsets(bounds, assignment)
-        detail["subsets"] = len(subsets)
-    allocations: list[IntervalAllocation] = []
-    interval_schedules = []
-    num_intervals = len(bounds.intervals.lengths)
-    for index, subset in enumerate(subsets):
-        with profiler.stage(
-            f"allocate+schedule[{index}]",
-            attempt=attempt_number,
-            messages=len(subset),
-            lp_vars=len(subset) * num_intervals,
-        ):
-            interval_allocation, schedules = _allocate_with_feedback(
-                bounds, assignment, subset, index, config.feedback_rounds
-            )
-        allocations.append(interval_allocation)
-        interval_schedules.append(schedules)
-
-    with profiler.stage("build-schedule", attempt=attempt_number) as detail:
-        schedule = build_schedule(bounds, assignment, interval_schedules)
-        detail["commands"] = schedule.num_commands
-    return _package(
-        schedule, report, bounds, subsets, allocations, tau_in, local,
-        attempt_number,
-    )
-
-
-def _allocate_with_feedback(
-    bounds: TimeBoundSet,
-    assignment: PathAssignment,
-    subset: tuple[str, ...],
-    index: int,
-    feedback_rounds: int,
-):
-    """Allocation <-> interval-scheduling loop for one maximal subset.
-
-    When interval scheduling reports an unpackable interval, the
-    allocation is re-solved with that interval's total demand capped just
-    below its current level minus the overflow, shifting the excess into
-    the messages' other active intervals.  Raises the *first* scheduling
-    error when the feedback budget runs out, or the allocation error if a
-    cap makes the LP infeasible.
-    """
-    caps: dict[int, float] = {}
-    first_error: IntervalSchedulingError | None = None
-    for _ in range(feedback_rounds + 1):
-        interval_allocation = allocate_intervals(
-            bounds, assignment, subset, subset_index=index,
-            interval_caps=caps or None,
-        )
-        try:
-            schedules = schedule_intervals(
-                assignment, interval_allocation, bounds.intervals.lengths
-            )
-            return interval_allocation, schedules
-        except IntervalSchedulingError as error:
-            if first_error is None:
-                first_error = error
-            k = error.interval_index
-            current = sum(interval_allocation.per_interval(k).values())
-            overflow = error.required - error.available
-            caps[k] = min(
-                caps.get(k, float("inf")),
-                current - overflow * 1.05,
-            )
-    assert first_error is not None
-    raise first_error
-
-
-def _package(
-    schedule, report, bounds, subsets, allocations, tau_in, local,
-    attempt_number,
-) -> ScheduledRouting:
-    """Assemble the final result object."""
-    return ScheduledRouting(
-        schedule=schedule,
-        utilization=report,
-        bounds=bounds,
-        subsets=subsets,
-        allocations=allocations,
+    if backend is None:
+        backend = get_backend(config.lp_backend)
+    context = CompilationContext(
         tau_in=tau_in,
-        local_messages=tuple(local),
-        attempts=attempt_number,
+        config=config,
+        profiler=profiler,
+        backend=backend,
     )
+    context.bounds = bounds
+    context.local = list(local)
+    context.attempt_number = attempt_number
+    context.assignment = assignment
+    context.report = report
+    run_stages(POST_ASSIGNMENT_STAGES, context)
+    return _package(context)
+
+
+def _package(context: CompilationContext) -> ScheduledRouting:
+    """Assemble the final result object from a completed context."""
+    routing = ScheduledRouting(
+        schedule=context.schedule,
+        utilization=context.report,
+        bounds=context.bounds,
+        subsets=context.subsets,
+        allocations=context.allocations,
+        tau_in=context.tau_in,
+        local_messages=tuple(context.local),
+        attempts=context.attempt_number,
+    )
+    backend = context.backend
+    if backend is not None:
+        tally = backend.tally
+        routing.extra["solver_stats"] = {
+            "backend": backend.name,
+            "lp_solves": tally.solves,
+            "lp_iterations": tally.iterations,
+            "lp_wall_ms": round(tally.wall_ms, 3),
+            "lp_failures": tally.failures,
+            "max_variables": tally.max_variables,
+            "max_constraints": tally.max_constraints,
+        }
+    if context.profiler is not NULL_PROFILER:
+        routing.extra["compile_profile"] = context.profiler.profile
+    return routing

@@ -24,15 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.core.assignment import PathAssignment
 from repro.core.timebounds import TimeBoundSet
 from repro.errors import IntervalAllocationError
+from repro.solvers import (
+    LP_TOL,
+    LPBackend,
+    LPProblem,
+    exceeds_tolerance,
+    get_backend,
+)
 from repro.topology.base import Link
 
-#: Numerical tolerance for LP feasibility checks.
-LP_TOL = 1e-7
+__all__ = ["LP_TOL", "IntervalAllocation", "allocate_intervals"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,7 @@ def allocate_intervals(
     subset: tuple[str, ...],
     subset_index: int = 0,
     interval_caps: dict[int, float] | None = None,
+    backend: LPBackend | None = None,
 ) -> IntervalAllocation:
     """Solve the allocation LP for one maximal subset.
 
@@ -78,6 +84,9 @@ def allocate_intervals(
     when interval scheduling reports an unpackable interval (the paper's
     Fig. 3 feedback arrow): demand is pushed out of the congested
     interval and the downstream packing retried.
+
+    ``backend`` selects the LP solver (see :mod:`repro.solvers`); by
+    default the environment's best available backend is used.
 
     Raises :class:`~repro.errors.IntervalAllocationError` when constraints
     (3)-(4) (plus any caps) cannot be met — the subset's messages demand
@@ -139,30 +148,33 @@ def allocate_intervals(
     c[z_index] = 1.0
     x_bounds = [(0.0, lengths[k]) for (_, k) in variables] + [(0.0, None)]
 
-    result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=x_bounds,
-        method="highs",
-    )
-    if not result.success:
-        raise IntervalAllocationError(
-            subset_index, f"allocation LP failed: {result.message}"
+    if backend is None:
+        backend = get_backend()
+    solution = backend.solve(
+        LPProblem(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=x_bounds,
         )
-    z = float(result.x[z_index])
-    if z > 1.0 + LP_TOL:
+    )
+    if not solution.success:
+        raise IntervalAllocationError(
+            subset_index, f"allocation LP failed: {solution.message}"
+        )
+    z = float(solution.x[z_index])
+    if exceeds_tolerance(z, 1.0):
         raise IntervalAllocationError(
             subset_index,
             f"minimal worst link-interval load {z:.4f} exceeds 1 "
             "(paper constraint (4))",
         )
     allocation = {
-        variables[i]: float(result.x[i])
+        variables[i]: float(solution.x[i])
         for i in range(num_x)
-        if result.x[i] > LP_TOL
+        if solution.x[i] > LP_TOL
     }
     return IntervalAllocation(
         subset=subset,

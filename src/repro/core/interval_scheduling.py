@@ -23,13 +23,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.core.assignment import PathAssignment
 from repro.errors import IntervalSchedulingError
+from repro.solvers import (
+    LP_TOL,
+    LPBackend,
+    LPProblem,
+    exceeds_tolerance,
+    get_backend,
+)
 
-#: Numerical tolerance shared with the allocation LP.
-LP_TOL = 1e-7
+__all__ = [
+    "LP_TOL",
+    "FeasibleSetSlot",
+    "IntervalSchedule",
+    "conflict_graph",
+    "greedy_schedule_interval",
+    "max_weight_independent_set",
+    "schedule_interval",
+    "schedule_intervals",
+]
 
 
 @dataclass(frozen=True)
@@ -150,6 +164,7 @@ def schedule_interval(
     demands: dict[str, float],
     interval_length: float,
     max_columns: int = 500,
+    backend: LPBackend | None = None,
 ) -> IntervalSchedule:
     """Pack one interval's demands into link-feasible sets.
 
@@ -164,6 +179,11 @@ def schedule_interval(
         (the allocation LP's ``p_hk`` values).
     interval_length:
         Length of the interval; the packing must fit inside it.
+    backend:
+        LP solver (see :mod:`repro.solvers`); the environment's best
+        available backend by default.  A backend that cannot report
+        equality duals stops column generation after the singleton
+        round (conservative but valid — see below).
 
     Raises
     ------
@@ -175,6 +195,8 @@ def schedule_interval(
     messages = sorted(name for name, p in demands.items() if p > LP_TOL)
     if not messages:
         return IntervalSchedule(interval, ())
+    if backend is None:
+        backend = get_backend()
     adjacency = conflict_graph(assignment, messages)
     p = np.array([demands[m] for m in messages])
 
@@ -187,31 +209,40 @@ def schedule_interval(
             for i, name in enumerate(messages):
                 if name in column:
                     matrix[i, j] = 1.0
-        result = linprog(
-            np.ones(len(columns)),
-            A_eq=matrix,
-            b_eq=p,
-            bounds=[(0.0, None)] * len(columns),
-            method="highs",
+        solution = backend.solve(
+            LPProblem(
+                c=np.ones(len(columns)),
+                a_eq=matrix,
+                b_eq=p,
+                bounds=[(0.0, None)] * len(columns),
+            )
         )
-        if not result.success:  # pragma: no cover - singletons keep it feasible
+        if not solution.success:  # pragma: no cover - singletons keep it feasible
             raise IntervalSchedulingError(interval, float("inf"), interval_length)
-        duals = result.eqlin.marginals
-        weights = {name: float(duals[i]) for i, name in enumerate(messages)}
+        if solution.dual_eq is None:  # pragma: no cover - all backends price
+            # Without duals there is no pricing signal; stop with the
+            # columns generated so far (the packing stays valid, merely
+            # possibly longer than the true LP optimum).
+            break
+        weights = {
+            name: float(solution.dual_eq[i])
+            for i, name in enumerate(messages)
+        }
         candidate, weight = max_weight_independent_set(adjacency, weights)
         if weight <= 1.0 + LP_TOL or candidate in known:
             break
         columns.append(candidate)
         known.add(candidate)
 
-    durations = [float(result.x[j]) for j in range(len(columns))]
+    durations = [float(solution.x[j]) for j in range(len(columns))]
     total = sum(d for d in durations if d > LP_TOL)
-    if total > interval_length + LP_TOL * max(1.0, interval_length):
+    if exceeds_tolerance(total, interval_length):
         raise IntervalSchedulingError(interval, total, interval_length)
     if total > interval_length:
-        # The solver overshot by a rounding hair; rescale so the packed
-        # slots fit the interval exactly (well inside the coverage
-        # tolerance downstream).
+        # Inside the shared tolerance band the overshoot is solver
+        # rounding, not infeasibility: rescale so the packed slots fit
+        # the interval exactly (well inside the coverage tolerance
+        # downstream).
         scale = interval_length / total
         durations = [d * scale for d in durations]
     slots = tuple(
@@ -268,16 +299,19 @@ def schedule_intervals(
     assignment: PathAssignment,
     allocation,
     interval_lengths,
+    backend: LPBackend | None = None,
 ) -> dict[int, IntervalSchedule]:
     """Schedule every interval used by one subset's allocation.
 
     ``allocation`` is an :class:`~repro.core.interval_allocation.
     IntervalAllocation`; returns ``interval index -> IntervalSchedule``.
     """
+    if backend is None:
+        backend = get_backend()
     schedules: dict[int, IntervalSchedule] = {}
     for k in allocation.intervals_used():
         demands = allocation.per_interval(k)
         schedules[k] = schedule_interval(
-            assignment, k, demands, interval_lengths[k]
+            assignment, k, demands, interval_lengths[k], backend=backend
         )
     return schedules

@@ -148,7 +148,20 @@ class TimeBoundSet:
 
     def active_intervals(self, name: str) -> tuple[int, ...]:
         """Indices of intervals in which a message may be transmitted."""
-        return tuple(np.flatnonzero(self.activity[self.index[name]]))
+        return tuple(
+            int(k) for k in np.flatnonzero(self.activity[self.index[name]])
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # tau_in and the per-message bounds determine every derived
+        # attribute (order, intervals, activity), so value equality over
+        # them is full value equality.  Needed so a schedule loaded from
+        # serialization or the cache compares equal to a fresh compile.
+        if not isinstance(other, TimeBoundSet):
+            return NotImplemented
+        return self.tau_in == other.tau_in and self.bounds == other.bounds
+
+    __hash__ = None  # mutable value semantics
 
     def __repr__(self) -> str:
         return (

@@ -15,19 +15,25 @@ from repro.experiments.figures import (
     utilization_comparison,
 )
 from repro.experiments.matrix import (
+    MatrixResult,
     MatrixRow,
     feasibility_matrix,
     format_matrix,
+    format_matrix_result,
+    run_feasibility_matrix,
 )
 
 __all__ = [
     "ExperimentSetup",
+    "MatrixResult",
     "MatrixRow",
     "PipelinePoint",
     "UtilizationPoint",
     "feasibility_matrix",
     "format_matrix",
+    "format_matrix_result",
     "pipeline_comparison",
+    "run_feasibility_matrix",
     "standard_setup",
     "utilization_comparison",
 ]

@@ -4,28 +4,33 @@ Condenses the paper's Figs. 7-10 into one table: for each (topology,
 bandwidth) pair, which of the twelve load points scheduled routing can
 serve and which compiler stage rejected the rest.  The design-sweep
 example and the TAB-MATRIX bench both print it.
+
+:func:`run_feasibility_matrix` is the full-featured entry point: it can
+fan compilation out over worker processes (``jobs=N``; every matrix
+point is an independent compilation) and reuse a content-addressed
+:class:`~repro.cache.ScheduleCache` so repeated sweeps — including the
+infeasible points, via negative entries — skip the LP work entirely.
+:func:`feasibility_matrix` keeps the historical serial signature.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
 
+from repro.cache import ScheduleCache
 from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.core.pipeline import OK, STAGE_VERDICT_CODES, verdict_code
 from repro.errors import SchedulingError
 from repro.experiments.setup import standard_setup
 from repro.tfg.graph import TaskFlowGraph
 from repro.topology.base import Topology
 
-#: Verdict code when the point compiled.
-OK = "OK"
-
-#: Abbreviations for compiler failure stages.
-STAGE_CODES = {
-    "utilization": "U>1",
-    "interval-allocation": "ALO",
-    "interval-scheduling": "SCH",
-    "scheduling": "ERR",
-}
+#: Back-compat alias — the verdict codes live with the stage pipeline.
+STAGE_CODES = STAGE_VERDICT_CODES
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,178 @@ class MatrixRow:
         return max(feasible) if feasible else None
 
 
+@dataclass(frozen=True)
+class MatrixResult:
+    """A computed feasibility matrix plus how it was computed.
+
+    ``cache_stats`` aggregates hit/miss/store counters over every
+    compilation (``None`` when no cache was used); on a warm rerun
+    ``hit_rate`` approaches 1.0.
+    """
+
+    rows: tuple[MatrixRow, ...]
+    elapsed_s: float
+    jobs: int
+    cache_stats: dict[str, float | int] | None = None
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.cache_stats:
+            return 0.0
+        lookups = self.cache_stats["hits"] + self.cache_stats["misses"]
+        return self.cache_stats["hits"] / lookups if lookups else 0.0
+
+
+def _compile_point(
+    tfg: TaskFlowGraph,
+    topology: Topology,
+    bandwidth: float,
+    load: float,
+    config: CompilerConfig,
+    placed: Mapping[str, int] | None,
+    cache: ScheduleCache | None,
+) -> str:
+    """Compile one matrix point and return its verdict code."""
+    kwargs = {} if placed is None else {"allocation": placed}
+    setup = standard_setup(tfg, topology, bandwidth, **kwargs)
+    try:
+        compile_schedule(
+            setup.timing,
+            setup.topology,
+            setup.allocation,
+            setup.tau_in_for_load(load),
+            config,
+            cache=cache,
+        )
+        return OK
+    except SchedulingError as error:
+        return verdict_code(error)
+
+
+def _matrix_cell(payload: tuple) -> tuple[int, str, dict | None]:
+    """Worker-process entry: one (topology, bandwidth, load) point.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  Each
+    call opens its own cache handle on the shared directory (the disk
+    tier is multi-process safe; the memory tier is per-process) and
+    ships its counters back for aggregation.
+    """
+    index, tfg, topology, bandwidth, load, config, placed, cache_dir = payload
+    cache = ScheduleCache(cache_dir) if cache_dir is not None else None
+    verdict = _compile_point(
+        tfg, topology, bandwidth, load, config, placed, cache
+    )
+    stats = cache.stats.as_dict() if cache is not None else None
+    return index, verdict, stats
+
+
+def run_feasibility_matrix(
+    tfg: TaskFlowGraph,
+    topologies: list[Topology],
+    bandwidths: list[float],
+    loads: list[float],
+    config: CompilerConfig | None = None,
+    allocation=None,
+    jobs: int = 1,
+    cache: ScheduleCache | str | Path | None = None,
+) -> MatrixResult:
+    """Compile the workload at every (topology, bandwidth, load) point.
+
+    Parameters
+    ----------
+    allocation:
+        Optional callable ``(tfg, topology) -> Allocation`` overriding
+        the default sequential placement (evaluated once per topology,
+        in the parent process).
+    jobs:
+        Number of worker processes.  ``1`` (default) compiles serially
+        in-process; ``N > 1`` fans the points out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` — every matrix
+        point is an independent compilation, so this scales to the
+        point count.
+    cache:
+        ``None`` (no caching), a directory path (shared on-disk cache —
+        the only form workers can share, required when ``jobs > 1``),
+        or an in-process :class:`~repro.cache.ScheduleCache` instance
+        (serial runs only).
+    """
+    config = config or CompilerConfig()
+    began = time.perf_counter()
+
+    placements: dict[str, Mapping[str, int] | None] = {}
+    for topology in topologies:
+        placements[topology.name] = (
+            dict(allocation(tfg, topology)) if allocation is not None else None
+        )
+
+    points = [
+        (topology, bandwidth, load)
+        for bandwidth in bandwidths
+        for topology in topologies
+        for load in loads
+    ]
+
+    if jobs > 1:
+        if isinstance(cache, ScheduleCache):
+            raise ValueError(
+                "parallel matrix workers cannot share an in-process "
+                "ScheduleCache; pass a cache directory instead"
+            )
+        cache_dir = str(cache) if cache is not None else None
+        payloads = [
+            (
+                i, tfg, topology, bandwidth, load, config,
+                placements[topology.name], cache_dir,
+            )
+            for i, (topology, bandwidth, load) in enumerate(points)
+        ]
+        verdicts: list[str] = [""] * len(points)
+        totals: dict[str, float | int] | None = (
+            {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
+            if cache_dir is not None
+            else None
+        )
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for index, verdict, stats in pool.map(_matrix_cell, payloads):
+                verdicts[index] = verdict
+                if totals is not None and stats is not None:
+                    for field in totals:
+                        totals[field] += stats[field]
+        cache_stats = totals
+    else:
+        if isinstance(cache, (str, Path)):
+            cache = ScheduleCache(cache)
+        verdicts = [
+            _compile_point(
+                tfg, topology, bandwidth, load, config,
+                placements[topology.name], cache,
+            )
+            for topology, bandwidth, load in points
+        ]
+        cache_stats = cache.stats.as_dict() if cache is not None else None
+
+    rows: list[MatrixRow] = []
+    stride = len(loads)
+    offset = 0
+    for bandwidth in bandwidths:
+        for topology in topologies:
+            rows.append(
+                MatrixRow(
+                    topology=topology.name,
+                    bandwidth=bandwidth,
+                    verdicts=tuple(verdicts[offset:offset + stride]),
+                    loads=tuple(loads),
+                )
+            )
+            offset += stride
+    return MatrixResult(
+        rows=tuple(rows),
+        elapsed_s=time.perf_counter() - began,
+        jobs=jobs,
+        cache_stats=cache_stats,
+    )
+
+
 def feasibility_matrix(
     tfg: TaskFlowGraph,
     topologies: list[Topology],
@@ -60,35 +237,14 @@ def feasibility_matrix(
     """Compile the workload at every (topology, bandwidth, load) point.
 
     ``allocation`` may be a callable ``(tfg, topology) -> Allocation`` to
-    override the default sequential placement.
+    override the default sequential placement.  The historical serial
+    API; see :func:`run_feasibility_matrix` for jobs/cache control.
     """
-    config = config or CompilerConfig()
-    rows: list[MatrixRow] = []
-    for bandwidth in bandwidths:
-        for topology in topologies:
-            kwargs = {}
-            if allocation is not None:
-                kwargs["allocation"] = allocation(tfg, topology)
-            setup = standard_setup(tfg, topology, bandwidth, **kwargs)
-            verdicts = []
-            for load in loads:
-                try:
-                    compile_schedule(
-                        setup.timing, setup.topology, setup.allocation,
-                        setup.tau_in_for_load(load), config,
-                    )
-                    verdicts.append(OK)
-                except SchedulingError as error:
-                    verdicts.append(STAGE_CODES.get(error.stage, "ERR"))
-            rows.append(
-                MatrixRow(
-                    topology=topology.name,
-                    bandwidth=bandwidth,
-                    verdicts=tuple(verdicts),
-                    loads=tuple(loads),
-                )
-            )
-    return rows
+    result = run_feasibility_matrix(
+        tfg, topologies, bandwidths, loads, config=config,
+        allocation=allocation,
+    )
+    return list(result.rows)
 
 
 def format_matrix(rows: list[MatrixRow]) -> str:
@@ -103,3 +259,17 @@ def format_matrix(rows: list[MatrixRow]) -> str:
         for row in rows
     ]
     return format_table(headers, table, title="SR feasibility matrix")
+
+
+def format_matrix_result(result: MatrixResult) -> str:
+    """Render a :class:`MatrixResult` with its run/cache statistics."""
+    lines = [format_matrix(list(result.rows))]
+    run = f"computed in {result.elapsed_s:.2f}s with jobs={result.jobs}"
+    if result.cache_stats is not None:
+        s = result.cache_stats
+        run += (
+            f"; cache: {s['hits']} hits / {s['misses']} misses "
+            f"(hit rate {result.hit_rate:.1%})"
+        )
+    lines.append(run)
+    return "\n".join(lines)

@@ -17,7 +17,6 @@ one function, so figures and smoke runs can never drift apart.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -62,9 +61,7 @@ class FaultRecoveryReport:
         The repair engine's outcome (strategy, latency, reroutes).
     sr_result:
         Replay of the repaired schedule on the residual machine — its
-        jitter is the "guarantee restored" claim.  (Previously named
-        ``sr_post_repair``; the old name remains as a deprecated
-        property.)
+        jitter is the "guarantee restored" claim.
     outage:
         Deliveries lost between the fault and the repaired schedule
         taking effect.
@@ -84,17 +81,6 @@ class FaultRecoveryReport:
     outage: OutageReport
     wr_result: RunResult | None
     wr_error: str | None
-
-    @property
-    def sr_post_repair(self) -> RunResult:
-        """Deprecated alias of :attr:`sr_result`."""
-        warnings.warn(
-            "FaultRecoveryReport.sr_post_repair is deprecated; "
-            "use FaultRecoveryReport.sr_result",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.sr_result
 
     def describe(self) -> str:
         """Multi-line human-readable summary (the CLI's output body)."""

@@ -27,8 +27,8 @@ machine-validation, and the result can be handed straight to
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.assignment import PathAssignment
 from repro.core.compiler import (
@@ -43,6 +43,9 @@ from repro.faults.residual import ResidualTopology
 from repro.tfg.analysis import TFGTiming
 from repro.topology.base import Link, Topology
 from repro.units import EPS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ScheduleCache
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,7 @@ def repair_schedule(
     config: CompilerConfig | None = None,
     allow_local: bool = True,
     max_pool: int = 48,
+    cache: "ScheduleCache | None" = None,
 ) -> RepairOutcome:
     """Repair a compiled schedule after permanent link failures.
 
@@ -127,6 +131,13 @@ def repair_schedule(
         and ablations).
     max_pool:
         Cap on residual candidate paths per affected message.
+    cache:
+        Optional :class:`~repro.cache.ScheduleCache` consulted by the
+        full-recompilation path.  The cache key includes the residual
+        topology's *link set*, so repeated repairs after the same fault
+        pattern (common across survivability sweeps) reuse the
+        recompiled schedule, while different patterns of equal size
+        never collide.
 
     Raises
     ------
@@ -192,6 +203,7 @@ def repair_schedule(
             allocation,
             routing.tau_in,
             _recompile_config(config),
+            cache=cache,
         )
     except SchedulingError as error:
         raise RepairInfeasibleError(
@@ -219,15 +231,7 @@ def _recompile_config(config: CompilerConfig) -> CompilerConfig:
     routes may cross the failed links)."""
     if config.use_assign_paths:
         return config
-    return CompilerConfig(
-        seed=config.seed,
-        use_assign_paths=True,
-        max_paths=config.max_paths,
-        max_restarts=config.max_restarts,
-        retries=config.retries,
-        feedback_rounds=config.feedback_rounds,
-        sync_margin=config.sync_margin,
-    )
+    return replace(config, use_assign_paths=True)
 
 
 def _local_repair(

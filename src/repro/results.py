@@ -14,8 +14,9 @@ module is the single contract:
   (completions, intervals, latencies, jitter, ``has_oi``, optional
   ``trace``) that metrics, report, and viz code consume.
 
-``repro.wormhole.results.PipelineRunResult`` remains as a thin
-deprecated alias; see ``docs/api.md`` for the migration guide.
+The deprecated ``PipelineRunResult`` alias and the
+``FaultRecoveryReport.sr_post_repair`` property were removed after one
+deprecation cycle; see ``docs/api.md`` for the migration table.
 """
 
 from __future__ import annotations

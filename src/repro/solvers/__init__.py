@@ -1,0 +1,96 @@
+"""Pluggable LP solver backends for the SR compiler.
+
+The two LP stages of the scheduled-routing compiler (message-interval
+allocation and interval scheduling) obtain their solver through
+:func:`get_backend` instead of importing scipy directly:
+
+>>> from repro.solvers import get_backend
+>>> backend = get_backend("auto")   # highs when scipy exists, else reference
+>>> solution = backend.solve(problem)
+
+Backend names
+-------------
+``auto``
+    Resolve at call time: ``highs`` when scipy is importable, otherwise
+    the pure-Python ``reference`` simplex.  This is the
+    ``CompilerConfig.lp_backend`` default.
+``highs``
+    :class:`~repro.solvers.scipy_backend.ScipyLinprogBackend` with
+    scipy's automatic HiGHS choice — the fast path.
+``highs-ds``
+    Same backend forced to the HiGHS dual simplex.
+``reference``
+    :class:`~repro.solvers.reference.ReferenceSimplexBackend` — a
+    deterministic numpy-only two-phase simplex for environments without
+    scipy (slow, small problems only).
+
+``get_backend`` returns a **fresh instance** each call; a backend's
+:class:`~repro.solvers.base.SolverTally` therefore covers exactly one
+compilation (the stages snapshot it per profiler stage).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from repro.solvers.base import (
+    LP_TOL,
+    LPBackend,
+    LPProblem,
+    LPSolution,
+    SolverTally,
+    TalliedBackend,
+    exceeds_tolerance,
+)
+from repro.solvers.reference import ReferenceSimplexBackend
+from repro.solvers.scipy_backend import SCIPY_METHODS, ScipyLinprogBackend
+
+__all__ = [
+    "LP_TOL",
+    "LPBackend",
+    "LPProblem",
+    "LPSolution",
+    "ReferenceSimplexBackend",
+    "SCIPY_METHODS",
+    "ScipyLinprogBackend",
+    "SolverTally",
+    "TalliedBackend",
+    "available_backends",
+    "default_backend_name",
+    "exceeds_tolerance",
+    "get_backend",
+    "have_scipy",
+]
+
+#: Names accepted by :func:`get_backend`.
+BACKEND_NAMES = ("auto", "highs", "highs-ds", "reference")
+
+
+def have_scipy() -> bool:
+    """True when scipy is importable (without importing it)."""
+    return importlib.util.find_spec("scipy") is not None
+
+
+def default_backend_name() -> str:
+    """The concrete backend ``auto`` resolves to in this environment."""
+    return "highs" if have_scipy() else "reference"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Concrete backend names usable in this environment."""
+    if have_scipy():
+        return ("highs", "highs-ds", "reference")
+    return ("reference",)
+
+
+def get_backend(name: str = "auto") -> LPBackend:
+    """Instantiate the named LP backend (see module docstring)."""
+    if name == "auto":
+        name = default_backend_name()
+    if name in SCIPY_METHODS:
+        return ScipyLinprogBackend(method=name)
+    if name == "reference":
+        return ReferenceSimplexBackend()
+    raise ValueError(
+        f"unknown LP backend {name!r} (expected one of {BACKEND_NAMES})"
+    )

@@ -1,0 +1,197 @@
+"""The LP backend contract shared by every solver implementation.
+
+The scheduled-routing compiler solves two families of linear programs —
+the message-interval allocation LP (paper constraints (3)-(4)) and the
+link-feasible-set packing LP of interval scheduling (Section 5.3).  Both
+historically hard-wired :func:`scipy.optimize.linprog`; this module
+abstracts the call behind :class:`LPBackend` so the LP engine is a
+compiler knob (``CompilerConfig.lp_backend``) instead of an import:
+
+- :class:`LPProblem` is the standard-form problem the stages build
+  (minimise ``c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq``,
+  per-variable bounds);
+- :class:`LPSolution` is the uniform result: primal point, equality
+  duals (the column-generation pricer needs them), iteration count and
+  wall time;
+- :class:`SolverTally` accumulates per-backend statistics that the
+  compiler stages copy into :class:`~repro.trace.profile.CompileProfiler`
+  detail (and hence into ``compile``-category trace events).
+
+:data:`LP_TOL` is the single numerical feasibility tolerance shared by
+both LP stages and every backend; :func:`exceeds_tolerance` is the one
+place its comparison semantics live.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Protocol, runtime_checkable
+
+#: Numerical tolerance shared by the allocation and scheduling LP stages
+#: (and every backend's feasibility checks).  A quantity "exceeds" a
+#: limit only beyond ``LP_TOL`` relative slack — see
+#: :func:`exceeds_tolerance`; anything inside the band is solver rounding
+#: and is clamped, not rejected.
+LP_TOL = 1e-7
+
+
+def exceeds_tolerance(value: float, limit: float, tol: float = LP_TOL) -> bool:
+    """True when ``value`` exceeds ``limit`` beyond the shared tolerance.
+
+    The band is relative for limits above 1 and absolute below
+    (``tol * max(1, |limit|)``), matching the historical behaviour of
+    both LP stages.  Values inside the band are treated as equal to the
+    limit: the allocation stage accepts load factors up to
+    ``1 + LP_TOL`` and the scheduling stage rescales packings that
+    overshoot the interval by at most ``LP_TOL * interval_length``.
+    """
+    return value > limit + tol * max(1.0, abs(limit))
+
+
+@dataclass(eq=False)
+class LPProblem:
+    """One standard-form linear program.
+
+    Arrays may be any sequence type ``numpy.asarray`` accepts (the
+    stages pass numpy arrays; backends convert as needed).
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients (minimisation).
+    a_ub, b_ub:
+        Inequality system ``a_ub @ x <= b_ub`` (both ``None`` when
+        absent).
+    a_eq, b_eq:
+        Equality system ``a_eq @ x == b_eq`` (both ``None`` when absent).
+    bounds:
+        Per-variable ``(low, high)`` pairs; ``high`` may be ``None`` for
+        unbounded above.  Lows must be finite.
+    """
+
+    c: Any
+    a_ub: Any = None
+    b_ub: Any = None
+    a_eq: Any = None
+    b_eq: Any = None
+    bounds: Any = None
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.c)
+
+    @property
+    def num_constraints(self) -> int:
+        rows = 0
+        if self.b_ub is not None:
+            rows += len(self.b_ub)
+        if self.b_eq is not None:
+            rows += len(self.b_eq)
+        return rows
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Uniform result shape returned by every backend.
+
+    Attributes
+    ----------
+    success:
+        True when an optimal feasible point was found.
+    x:
+        The primal solution (empty on failure).
+    objective:
+        Objective value at ``x``.
+    dual_eq:
+        Dual values (sensitivities ``df/db``) of the equality
+        constraints, in row order — the column-generation pricer's
+        weights.  ``None`` when the backend cannot provide them.
+    iterations:
+        Simplex/IPM iterations the solver reported.
+    wall_ms:
+        Wall-clock solve time, stamped by :class:`TalliedBackend`.
+    message:
+        Backend diagnostic (failure reason).
+    """
+
+    success: bool
+    x: tuple[float, ...]
+    objective: float
+    dual_eq: tuple[float, ...] | None
+    iterations: int
+    wall_ms: float = 0.0
+    message: str = ""
+
+
+@dataclass
+class SolverTally:
+    """Accumulated statistics of one backend instance's solves."""
+
+    solves: int = 0
+    iterations: int = 0
+    wall_ms: float = 0.0
+    failures: int = 0
+    max_variables: int = 0
+    max_constraints: int = 0
+
+    def record(self, problem: LPProblem, solution: LPSolution) -> None:
+        self.solves += 1
+        self.iterations += solution.iterations
+        self.wall_ms += solution.wall_ms
+        if not solution.success:
+            self.failures += 1
+        self.max_variables = max(self.max_variables, problem.num_variables)
+        self.max_constraints = max(
+            self.max_constraints, problem.num_constraints
+        )
+
+    def snapshot(self) -> "SolverTally":
+        """A value copy, used to compute per-stage deltas."""
+        return replace(self)
+
+    def since(self, earlier: "SolverTally") -> dict[str, float | int]:
+        """Stage-detail dict of the activity since ``earlier``."""
+        return {
+            "lp_solves": self.solves - earlier.solves,
+            "lp_iterations": self.iterations - earlier.iterations,
+            "lp_wall_ms": round(self.wall_ms - earlier.wall_ms, 3),
+        }
+
+
+@runtime_checkable
+class LPBackend(Protocol):
+    """What the compiler stages require of an LP solver."""
+
+    name: str
+    tally: SolverTally
+
+    def solve(self, problem: LPProblem) -> LPSolution:  # pragma: no cover
+        ...
+
+
+class TalliedBackend:
+    """Base class giving concrete backends timing and statistics.
+
+    Subclasses implement :meth:`_solve`; :meth:`solve` wraps it with
+    wall-clock measurement and :class:`SolverTally` bookkeeping.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.tally = SolverTally()
+
+    def solve(self, problem: LPProblem) -> LPSolution:
+        start = time.perf_counter()
+        solution = self._solve(problem)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        solution = replace(solution, wall_ms=wall_ms)
+        self.tally.record(problem, solution)
+        return solution
+
+    def _solve(self, problem: LPProblem) -> LPSolution:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<LPBackend {self.name}: {self.tally.solves} solves>"

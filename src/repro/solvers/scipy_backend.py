@@ -1,0 +1,63 @@
+"""LP backends delegating to :func:`scipy.optimize.linprog`.
+
+Two methods are exposed: ``highs`` (the default — HiGHS picks simplex or
+IPM itself) and ``highs-ds`` (HiGHS dual simplex forced, the dense
+fallback for problems where the automatic choice misbehaves).  scipy is
+imported lazily inside :meth:`ScipyLinprogBackend._solve`, so merely
+importing this module — or the solver registry — never requires scipy;
+environments without it use the :mod:`~repro.solvers.reference` backend.
+"""
+
+from __future__ import annotations
+
+from repro.solvers.base import LPProblem, LPSolution, TalliedBackend
+
+#: linprog ``method`` values this backend accepts.
+SCIPY_METHODS = ("highs", "highs-ds")
+
+
+class ScipyLinprogBackend(TalliedBackend):
+    """A :class:`~repro.solvers.base.LPBackend` backed by scipy's HiGHS."""
+
+    def __init__(self, method: str = "highs") -> None:
+        if method not in SCIPY_METHODS:
+            raise ValueError(
+                f"unknown scipy linprog method {method!r} "
+                f"(expected one of {SCIPY_METHODS})"
+            )
+        super().__init__()
+        self.name = method
+        self._method = method
+
+    def _solve(self, problem: LPProblem) -> LPSolution:
+        from scipy.optimize import linprog
+
+        result = linprog(
+            problem.c,
+            A_ub=problem.a_ub,
+            b_ub=problem.b_ub,
+            A_eq=problem.a_eq,
+            b_eq=problem.b_eq,
+            bounds=problem.bounds,
+            method=self._method,
+        )
+        dual_eq = None
+        if (
+            result.success
+            and problem.a_eq is not None
+            and getattr(result, "eqlin", None) is not None
+        ):
+            dual_eq = tuple(float(v) for v in result.eqlin.marginals)
+        x = (
+            tuple(float(v) for v in result.x)
+            if result.x is not None
+            else ()
+        )
+        return LPSolution(
+            success=bool(result.success),
+            x=x,
+            objective=float(result.fun) if result.fun is not None else 0.0,
+            dual_eq=dual_eq,
+            iterations=int(getattr(result, "nit", 0) or 0),
+            message=str(result.message),
+        )

@@ -15,14 +15,12 @@ scheduled routing is designed to eliminate.
 
 from repro.wormhole.adaptive import AdaptiveWormholeSimulator
 from repro.wormhole.analysis import OiRisk, predict_oi_risks
-from repro.wormhole.results import PipelineRunResult
 from repro.wormhole.simulator import WormholeSimulator
 from repro.wormhole.store_forward import StoreAndForwardSimulator
 
 __all__ = [
     "AdaptiveWormholeSimulator",
     "OiRisk",
-    "PipelineRunResult",
     "StoreAndForwardSimulator",
     "WormholeSimulator",
     "predict_oi_risks",

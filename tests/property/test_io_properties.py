@@ -64,6 +64,17 @@ class TestIORoundtripProperties:
 
     @given(compiled_schedule())
     @settings(max_examples=20)
+    def test_roundtrip_is_value_equal(self, schedule):
+        """Full dataclass equality — ``TimeBoundSet`` compares by value,
+        so a deserialized schedule is indistinguishable from the
+        original (the invariant the schedule cache relies on)."""
+        if schedule is None:
+            return
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt == schedule
+
+    @given(compiled_schedule())
+    @settings(max_examples=20)
     def test_roundtrip_revalidates(self, schedule):
         if schedule is None:
             return

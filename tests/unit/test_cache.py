@@ -1,0 +1,200 @@
+"""Unit tests for the content-addressed schedule cache (`repro.cache`)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cache import (
+    CACHE_VERSION,
+    ScheduleCache,
+    schedule_cache_key,
+)
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.core.verify import verify_schedule
+from repro.errors import SchedulingError, UtilizationExceededError
+
+CONFIG = CompilerConfig(seed=0, max_paths=16, max_restarts=2, retries=1)
+
+
+def compile_small(setup, load=0.5, cache=None, config=CONFIG):
+    return compile_schedule(
+        setup.timing,
+        setup.topology,
+        setup.allocation,
+        setup.tau_in_for_load(load),
+        config,
+        cache=cache,
+    )
+
+
+class TestMemoryTier:
+    def test_second_compile_hits(self, small_setup):
+        cache = ScheduleCache()
+        compile_small(small_setup, cache=cache)
+        assert cache.stats.as_dict()["misses"] == 1
+        warm = compile_small(small_setup, cache=cache)
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == 1 and stats["stores"] == 1
+        assert warm.extra["cache"] == {
+            "hit": True, "key": schedule_cache_key(
+                small_setup.timing, small_setup.topology,
+                small_setup.allocation, small_setup.tau_in_for_load(0.5),
+                CONFIG,
+            ),
+        }
+
+    def test_cached_equals_fresh(self, small_setup):
+        cache = ScheduleCache()
+        fresh = compile_small(small_setup, cache=cache)
+        warm = compile_small(small_setup, cache=cache)
+        assert warm.schedule == fresh.schedule
+        assert warm.tau_in == fresh.tau_in
+        assert warm.bounds == fresh.bounds
+        assert warm.local_messages == fresh.local_messages
+        assert warm.utilization.peak == pytest.approx(fresh.utilization.peak)
+
+    def test_cached_schedule_verifies(self, small_setup):
+        cache = ScheduleCache()
+        compile_small(small_setup, cache=cache)
+        warm = compile_small(small_setup, cache=cache)
+        verify_schedule(  # raises ScheduleValidationError on any breach
+            warm, small_setup.timing, small_setup.topology,
+            small_setup.allocation,
+        )
+
+    def test_no_cache_means_no_marker(self, small_setup):
+        fresh = compile_small(small_setup)
+        assert "cache" not in fresh.extra
+
+
+class TestDiskTier:
+    def test_cold_process_hits_from_disk(self, small_setup, tmp_path):
+        compile_small(small_setup, cache=ScheduleCache(tmp_path))
+        reopened = ScheduleCache(tmp_path)  # fresh memory tier
+        warm = compile_small(small_setup, cache=reopened)
+        stats = reopened.stats.as_dict()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        assert warm.extra["cache"]["hit"] is True
+
+    def test_entries_are_versioned_json(self, small_setup, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_small(small_setup, cache=cache)
+        files = list(tmp_path.rglob("*.json"))
+        assert len(files) == 1
+        entry = json.loads(files[0].read_text())
+        assert entry["format"] == CACHE_VERSION
+        assert entry["kind"] == "schedule"
+
+    def test_stale_format_invalidated_and_recompiled(
+        self, small_setup, tmp_path
+    ):
+        cache = ScheduleCache(tmp_path)
+        compile_small(small_setup, cache=cache)
+        path = next(tmp_path.rglob("*.json"))
+        entry = json.loads(path.read_text())
+        entry["format"] = "repro.cache/0"
+        path.write_text(json.dumps(entry))
+
+        reopened = ScheduleCache(tmp_path)
+        warm = compile_small(small_setup, cache=reopened)
+        stats = reopened.stats.as_dict()
+        assert stats["invalidations"] == 1
+        assert stats["misses"] == 1 and stats["stores"] == 1
+        assert warm.schedule is not None
+
+    def test_clear_drops_memory_but_disk_survives(
+        self, small_setup, tmp_path
+    ):
+        cache = ScheduleCache(tmp_path)
+        compile_small(small_setup, cache=cache)
+        cache.clear()
+        # The disk tier is durable: the next lookup re-reads the entry.
+        assert list(tmp_path.rglob("*.json"))
+        compile_small(small_setup, cache=cache)
+        assert cache.stats.as_dict()["hits"] == 1
+
+
+class TestNegativeCaching:
+    def test_failure_replayed_with_class_and_stage(self, cube3):
+        from repro.experiments import standard_setup
+        from repro.mapping import sequential_allocation
+        from repro.tfg.synth import chain_tfg
+
+        # chain(4) on the 3-cube at B=64 overloads a link at load 0.5.
+        setup = standard_setup(
+            chain_tfg(4, ops=400.0, size_bytes=1280.0), cube3,
+            bandwidth=64.0, allocator=sequential_allocation,
+        )
+        cache = ScheduleCache()
+        args = (
+            setup.timing, setup.topology, setup.allocation,
+            setup.tau_in_for_load(0.5), CONFIG,
+        )
+        with pytest.raises(SchedulingError) as first:
+            compile_schedule(*args, cache=cache)
+        assert cache.stats.as_dict()["stores"] == 1
+        with pytest.raises(SchedulingError) as second:
+            compile_schedule(*args, cache=cache)
+        assert cache.stats.as_dict()["hits"] == 1
+        assert type(second.value) is type(first.value)
+        assert str(second.value) == str(first.value)
+        assert second.value.stage == first.value.stage
+        if isinstance(first.value, UtilizationExceededError):
+            assert second.value.peak == pytest.approx(first.value.peak)
+
+
+class TestKeyScheme:
+    def base_key(self, setup, load=0.5, config=CONFIG):
+        return schedule_cache_key(
+            setup.timing, setup.topology, setup.allocation,
+            setup.tau_in_for_load(load), config,
+        )
+
+    def test_deterministic_within_process(self, small_setup):
+        assert self.base_key(small_setup) == self.base_key(small_setup)
+
+    def test_key_is_hex_sha256(self, small_setup):
+        key = self.base_key(small_setup)
+        assert len(key) == 64
+        int(key, 16)  # must parse as hex
+
+    def test_tau_in_perturbs_key(self, small_setup):
+        assert self.base_key(small_setup, load=0.5) != self.base_key(
+            small_setup, load=0.51
+        )
+
+    def test_config_field_perturbs_key(self, small_setup):
+        other = dataclasses.replace(CONFIG, max_paths=CONFIG.max_paths + 1)
+        assert self.base_key(small_setup) != self.base_key(
+            small_setup, config=other
+        )
+
+    def test_backend_choice_perturbs_key(self, small_setup):
+        # Different LP engines may pick different (equally valid)
+        # optima, so the backend is part of the identity.
+        other = dataclasses.replace(CONFIG, lp_backend="reference")
+        assert self.base_key(small_setup) != self.base_key(
+            small_setup, config=other
+        )
+
+    def test_allocation_perturbs_key(self, small_setup):
+        moved = dict(small_setup.allocation)
+        name = sorted(moved)[0]
+        moved[name] = (moved[name] + 1) % small_setup.topology.num_nodes
+        assert schedule_cache_key(
+            small_setup.timing, small_setup.topology, moved,
+            small_setup.tau_in_for_load(0.5), CONFIG,
+        ) != self.base_key(small_setup)
+
+    def test_topology_link_set_perturbs_key(self, small_setup, cube3):
+        from repro.faults.residual import ResidualTopology
+
+        link = sorted(cube3.links)[0]
+        residual = ResidualTopology(cube3, frozenset({link}))
+        assert schedule_cache_key(
+            small_setup.timing, residual, small_setup.allocation,
+            small_setup.tau_in_for_load(0.5), CONFIG,
+        ) != self.base_key(small_setup)

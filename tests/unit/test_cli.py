@@ -26,6 +26,68 @@ class TestCompileCommand:
         assert "infeasible" in out
 
 
+class TestCompileCacheAndBackend:
+    def test_cache_dir_miss_then_hit(self, capsys, tmp_path):
+        args = [
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "3", "--load", "0.5",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache: miss" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+        # The replay reports the same schedule.
+        assert [l for l in first.splitlines() if "feasible" in l] == [
+            l for l in second.splitlines() if "feasible" in l
+        ]
+
+    def test_reference_backend_accepted(self, capsys):
+        code = main([
+            "compile", "--topology", "hypercube6", "--bandwidth", "128",
+            "--models", "1", "--load", "0.4",
+            "--lp-backend", "reference",
+        ])
+        assert code == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "compile", "--topology", "hypercube6", "--load", "0.5",
+                "--lp-backend", "glpk",
+            ])
+
+
+class TestMatrixCommand:
+    def test_prints_matrix_with_stats(self, capsys, tmp_path):
+        args = [
+            "matrix", "--topologies", "hypercube6", "--bandwidths", "128",
+            "--loads", "0.4", "0.5", "--models", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "SR feasibility matrix" in cold
+        assert "jobs=1" in cold
+        assert "0 hits / 2 misses" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "2 hits / 0 misses" in warm
+        assert "hit rate 100.0%" in warm
+
+    def test_jobs_flag_runs_parallel(self, capsys, tmp_path):
+        code = main([
+            "matrix", "--topologies", "hypercube6", "--bandwidths", "128",
+            "--loads", "0.5", "--models", "1", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+
 class TestUtilizationCommand:
     def test_prints_table(self, capsys):
         code = main([

@@ -103,6 +103,26 @@ class TestScheduleInterval:
         assert schedule.slots == ()
         assert schedule.total_time == 0.0
 
+    def test_overshoot_inside_tolerance_band_is_rescaled(
+        self, three_messages
+    ):
+        # A packing that exceeds the interval by less than the shared
+        # LP tolerance is solver rounding: the slots are rescaled to fit
+        # exactly instead of raising.
+        from repro.solvers import LP_TOL
+
+        demands = {"m0": 10.0 * (1.0 + 0.5 * LP_TOL)}
+        schedule = schedule_interval(three_messages, 0, demands, 10.0)
+        assert schedule.total_time == pytest.approx(10.0, abs=1e-12)
+        assert schedule.total_time <= 10.0
+
+    def test_overshoot_beyond_tolerance_band_raises(self, three_messages):
+        from repro.solvers import LP_TOL
+
+        demands = {"m0": 10.0 * (1.0 + 10.0 * LP_TOL)}
+        with pytest.raises(IntervalSchedulingError):
+            schedule_interval(three_messages, 0, demands, 10.0)
+
     def test_demand_exactly_covered_per_message(self, three_messages):
         demands = {"m0": 2.5, "m1": 7.0, "m2": 1.0}
         schedule = schedule_interval(three_messages, 0, demands, 10.0)

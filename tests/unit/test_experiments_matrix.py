@@ -2,10 +2,18 @@
 
 import pytest
 
+from repro.cache import ScheduleCache
 from repro.core.compiler import CompilerConfig
-from repro.experiments import feasibility_matrix, format_matrix
+from repro.experiments import (
+    feasibility_matrix,
+    format_matrix,
+    format_matrix_result,
+    run_feasibility_matrix,
+)
 from repro.mapping import bfs_allocation
 from repro.tfg.synth import chain_tfg
+
+SMALL_CONFIG = CompilerConfig(max_paths=12, max_restarts=1, retries=0)
 
 
 @pytest.fixture()
@@ -57,6 +65,64 @@ class TestFeasibilityMatrix:
             allocation=lambda t, topo: bfs_allocation(t, topo),
         )
         assert rows[0].verdicts == ("OK",)
+
+
+class TestRunFeasibilityMatrix:
+    def test_matches_serial_wrapper(self, cube3):
+        tfg = chain_tfg(4, 400, 1280)
+        args = (tfg, [cube3], [64.0, 128.0], [0.5, 1.0])
+        result = run_feasibility_matrix(*args, config=SMALL_CONFIG)
+        rows = feasibility_matrix(*args, config=SMALL_CONFIG)
+        assert list(result.rows) == rows
+        assert result.jobs == 1
+        assert result.cache_stats is None
+        assert result.elapsed_s > 0.0
+
+    def test_warm_cache_rerun_is_all_hits(self, cube3, tmp_path):
+        tfg = chain_tfg(4, 400, 1280)
+        args = (tfg, [cube3], [64.0, 128.0], [0.5, 1.0])
+        cold = run_feasibility_matrix(
+            *args, config=SMALL_CONFIG, cache=tmp_path
+        )
+        warm = run_feasibility_matrix(
+            *args, config=SMALL_CONFIG, cache=str(tmp_path)
+        )
+        assert cold.cache_stats["misses"] == 4
+        assert warm.cache_stats["hits"] == 4
+        assert warm.hit_rate == 1.0
+        # Infeasible points hit too (negative entries), and verdicts
+        # are bit-identical to the cold run.
+        assert warm.rows == cold.rows
+
+    def test_parallel_matches_serial_verdicts(self, cube3, tmp_path):
+        tfg = chain_tfg(4, 400, 1280)
+        args = (tfg, [cube3], [64.0, 128.0], [0.5, 1.0])
+        serial = run_feasibility_matrix(*args, config=SMALL_CONFIG)
+        parallel = run_feasibility_matrix(
+            *args, config=SMALL_CONFIG, jobs=2, cache=tmp_path
+        )
+        assert parallel.rows == serial.rows
+        assert parallel.jobs == 2
+        assert parallel.cache_stats["stores"] == 4
+
+    def test_parallel_rejects_in_process_cache(self, cube3):
+        tfg = chain_tfg(4, 400, 1280)
+        with pytest.raises(ValueError, match="directory"):
+            run_feasibility_matrix(
+                tfg, [cube3], [64.0], [0.5], config=SMALL_CONFIG,
+                jobs=2, cache=ScheduleCache(),
+            )
+
+    def test_format_matrix_result_reports_stats(self, cube3, tmp_path):
+        tfg = chain_tfg(4, 400, 1280)
+        result = run_feasibility_matrix(
+            tfg, [cube3], [128.0], [1.0], config=SMALL_CONFIG,
+            cache=tmp_path,
+        )
+        text = format_matrix_result(result)
+        assert "SR feasibility matrix" in text
+        assert "jobs=1" in text
+        assert "hit rate" in text
 
 
 class TestFormatMatrix:

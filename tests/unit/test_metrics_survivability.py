@@ -10,7 +10,7 @@ from repro.metrics.survivability import (
     survivability_curve,
     throughput_series,
 )
-from repro.wormhole.results import PipelineRunResult
+from repro.results import RunResult
 
 
 @pytest.fixture()
@@ -83,7 +83,7 @@ class TestSeriesMetrics:
         times = [100.0]
         for delta in intervals:
             times.append(times[-1] + delta)
-        return PipelineRunResult(
+        return RunResult(
             tau_in=tau_in,
             completion_times=tuple(times),
             warmup=0,

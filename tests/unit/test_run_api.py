@@ -1,4 +1,4 @@
-"""Unit tests of the unified run API: RunConfig, RunResult, shims.
+"""Unit tests of the unified run API: RunConfig and RunResult.
 
 Also covers the kernel-validation satellites that rode along with the
 API change: negative ``Timeout`` delays raising a
@@ -16,7 +16,6 @@ from repro.errors import InvalidDelayError, SimulationError
 from repro.results import RunConfig, RunResult, resolve_run_config
 from repro.sim import Environment
 from repro.trace import NULL_TRACER, TraceRecorder
-from repro.wormhole.results import PipelineRunResult
 
 
 def make_result(**overrides):
@@ -94,19 +93,22 @@ class TestRunResult:
         assert traced == untraced  # trace excluded from equality
 
 
-class TestDeprecationShims:
-    def test_pipeline_run_result_warns_and_is_a_run_result(self):
-        with pytest.warns(DeprecationWarning, match="PipelineRunResult"):
-            legacy = PipelineRunResult(
-                tau_in=10.0,
-                completion_times=(10.0, 20.0, 30.0, 40.0, 50.0),
-                warmup=1,
-                critical_path_length=30.0,
-            )
-        assert isinstance(legacy, RunResult)
-        assert legacy.intervals == pytest.approx([10.0, 10.0, 10.0])
+class TestShimsRemoved:
+    """The one-cycle deprecation shims are gone (see docs/api.md)."""
 
-    def test_fault_report_sr_post_repair_alias_warns(self):
+    def test_pipeline_run_result_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.wormhole.results  # noqa: F401
+
+    def test_pipeline_run_result_not_exported(self):
+        import repro
+        import repro.wormhole
+
+        assert not hasattr(repro, "PipelineRunResult")
+        assert not hasattr(repro.wormhole, "PipelineRunResult")
+        assert "PipelineRunResult" not in repro.__all__
+
+    def test_fault_report_has_no_sr_post_repair(self):
         from repro.faults.compare import FaultRecoveryReport
 
         report = FaultRecoveryReport(
@@ -120,9 +122,8 @@ class TestDeprecationShims:
             wr_result=None,
             wr_error=None,
         )
-        with pytest.warns(DeprecationWarning, match="sr_post_repair"):
-            aliased = report.sr_post_repair
-        assert aliased is report.sr_result
+        assert not hasattr(report, "sr_post_repair")
+        assert report.sr_result is not None
 
 
 class TestTimeoutValidation:

@@ -1,0 +1,227 @@
+"""Unit tests for the pluggable LP solver layer (`repro.solvers`).
+
+Backend equivalence is asserted on *objectives* and feasibility verdicts,
+never on dual vectors: primal-degenerate LPs have non-unique optimal
+duals, and any optimal dual is a valid column-generation pricer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    BACKEND_NAMES,
+    LP_TOL,
+    LPProblem,
+    ReferenceSimplexBackend,
+    ScipyLinprogBackend,
+    SolverTally,
+    available_backends,
+    default_backend_name,
+    exceeds_tolerance,
+    get_backend,
+    have_scipy,
+)
+
+scipy_required = pytest.mark.skipif(
+    not have_scipy(), reason="scipy not installed"
+)
+
+
+# -- a small LP zoo ------------------------------------------------------------
+
+def lp_transport():
+    """min 2x + 3y  s.t.  x + y = 1, x,y >= 0  ->  x=1, obj=2, dual=2."""
+    return LPProblem(
+        c=np.array([2.0, 3.0]),
+        a_eq=np.array([[1.0, 1.0]]),
+        b_eq=np.array([1.0]),
+        bounds=[(0.0, None), (0.0, None)],
+    )
+
+
+def lp_mixed():
+    """Equalities, inequalities and finite upper bounds together."""
+    return LPProblem(
+        c=np.array([1.0, 2.0, 0.5]),
+        a_ub=np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]]),
+        b_ub=np.array([4.0, 5.0]),
+        a_eq=np.array([[1.0, 1.0, 1.0]]),
+        b_eq=np.array([3.0]),
+        bounds=[(0.0, 2.5), (0.0, None), (0.0, 2.0)],
+    )
+
+
+def lp_shifted_bounds():
+    """Non-zero lower bounds exercise the bound-shifting path."""
+    return LPProblem(
+        c=np.array([1.0, 1.0]),
+        a_eq=np.array([[1.0, 2.0]]),
+        b_eq=np.array([7.0]),
+        bounds=[(1.0, None), (2.0, 10.0)],
+    )
+
+
+def lp_infeasible():
+    """x >= 0 with x <= -1 cannot be satisfied."""
+    return LPProblem(
+        c=np.array([1.0]),
+        a_ub=np.array([[1.0]]),
+        b_ub=np.array([-1.0]),
+        bounds=[(0.0, None)],
+    )
+
+
+def lp_unbounded():
+    """min -x  s.t.  x <= y, x,y >= 0 — the pair grows without bound."""
+    return LPProblem(
+        c=np.array([-1.0, 0.0]),
+        a_ub=np.array([[1.0, -1.0]]),
+        b_ub=np.array([0.0]),
+        bounds=[(0.0, None), (0.0, None)],
+    )
+
+
+ZOO = {
+    "transport": (lp_transport, 2.0),
+    "mixed": (lp_mixed, 2.0),
+    "shifted": (lp_shifted_bounds, 4.0),
+}
+
+
+# -- registry ------------------------------------------------------------------
+
+class TestRegistry:
+    def test_backend_names_cover_registry(self):
+        assert set(BACKEND_NAMES) == {"auto", "highs", "highs-ds", "reference"}
+
+    def test_reference_always_available(self):
+        assert "reference" in available_backends()
+
+    def test_auto_resolves_to_default(self):
+        assert get_backend("auto").name == default_backend_name()
+        assert get_backend().name == default_backend_name()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_backend("cplex")
+
+    def test_fresh_instance_per_call(self):
+        assert get_backend("reference") is not get_backend("reference")
+
+    @scipy_required
+    def test_scipy_methods_resolve(self):
+        assert get_backend("highs").name == "highs"
+        assert get_backend("highs-ds").name == "highs-ds"
+        assert default_backend_name() == "highs"
+
+
+# -- the reference simplex -----------------------------------------------------
+
+class TestReferenceBackend:
+    @pytest.mark.parametrize("case", sorted(ZOO))
+    def test_known_optima(self, case):
+        build, expected = ZOO[case]
+        solution = ReferenceSimplexBackend().solve(build())
+        assert solution.success
+        assert solution.objective == pytest.approx(expected, abs=1e-8)
+
+    def test_primal_satisfies_constraints(self):
+        problem = lp_mixed()
+        solution = ReferenceSimplexBackend().solve(problem)
+        x = np.array(solution.x)
+        assert np.all(problem.a_ub @ x <= problem.b_ub + 1e-8)
+        assert problem.a_eq @ x == pytest.approx(problem.b_eq, abs=1e-8)
+        for value, (low, high) in zip(x, problem.bounds):
+            assert value >= low - 1e-8
+            assert high is None or value <= high + 1e-8
+
+    def test_infeasible_detected(self):
+        solution = ReferenceSimplexBackend().solve(lp_infeasible())
+        assert not solution.success
+        assert "infeasible" in solution.message
+
+    def test_unbounded_detected(self):
+        solution = ReferenceSimplexBackend().solve(lp_unbounded())
+        assert not solution.success
+        assert "unbounded" in solution.message
+
+    def test_duals_on_nondegenerate_lp(self):
+        # transport: tightening x + y = 1 by db raises the optimum by
+        # 2 db, so the (unique) equality dual is exactly 2.
+        solution = ReferenceSimplexBackend().solve(lp_transport())
+        assert solution.dual_eq == pytest.approx([2.0], abs=1e-8)
+
+    @scipy_required
+    @pytest.mark.parametrize("case", sorted(ZOO))
+    def test_objectives_match_scipy(self, case):
+        build, _ = ZOO[case]
+        ours = ReferenceSimplexBackend().solve(build())
+        scipys = ScipyLinprogBackend("highs").solve(build())
+        assert ours.success and scipys.success
+        assert ours.objective == pytest.approx(scipys.objective, abs=1e-7)
+
+    @scipy_required
+    def test_verdicts_match_scipy_on_pathologies(self):
+        for build in (lp_infeasible, lp_unbounded):
+            ours = ReferenceSimplexBackend().solve(build())
+            scipys = ScipyLinprogBackend("highs").solve(build())
+            assert ours.success == scipys.success is False
+
+
+# -- tally bookkeeping ---------------------------------------------------------
+
+class TestTally:
+    def test_solves_recorded_with_sizes(self):
+        backend = ReferenceSimplexBackend()
+        backend.solve(lp_transport())
+        backend.solve(lp_mixed())
+        assert backend.tally.solves == 2
+        assert backend.tally.failures == 0
+        assert backend.tally.max_variables == 3
+        assert backend.tally.max_constraints == 3
+        assert backend.tally.wall_ms >= 0.0
+
+    def test_failures_counted(self):
+        backend = ReferenceSimplexBackend()
+        backend.solve(lp_infeasible())
+        assert backend.tally.failures == 1
+
+    def test_since_reports_deltas(self):
+        backend = ReferenceSimplexBackend()
+        backend.solve(lp_transport())
+        before = backend.tally.snapshot()
+        backend.solve(lp_mixed())
+        delta = backend.tally.since(before)
+        assert delta["lp_solves"] == 1
+        assert delta["lp_iterations"] >= 1
+
+    def test_snapshot_is_a_value_copy(self):
+        tally = SolverTally(solves=3)
+        snap = tally.snapshot()
+        tally.solves = 5
+        assert snap.solves == 3
+
+
+# -- the shared tolerance band (satellite: magic 1.0000001 removal) ------------
+
+class TestExceedsTolerance:
+    def test_inside_band_is_not_exceeding(self):
+        assert not exceeds_tolerance(1.0 + 0.5 * LP_TOL, 1.0)
+
+    def test_exact_limit_is_not_exceeding(self):
+        assert not exceeds_tolerance(1.0, 1.0)
+
+    def test_beyond_band_is_exceeding(self):
+        assert exceeds_tolerance(1.0 + 2.0 * LP_TOL, 1.0)
+
+    def test_band_is_relative_above_one(self):
+        # At limit 100 the band is 100 * LP_TOL wide, not LP_TOL.
+        assert not exceeds_tolerance(100.0 + 50.0 * LP_TOL, 100.0)
+        assert exceeds_tolerance(100.0 + 200.0 * LP_TOL, 100.0)
+
+    def test_band_is_absolute_below_one(self):
+        # Small limits keep the absolute LP_TOL band (max(1, |limit|)).
+        assert not exceeds_tolerance(0.01 + 0.5 * LP_TOL, 0.01)
+        assert exceeds_tolerance(0.01 + 2.0 * LP_TOL, 0.01)

@@ -6,7 +6,8 @@ from repro.errors import SimulationError
 from repro.tfg import TFGTiming
 from repro.tfg.graph import build_tfg
 from repro.tfg.synth import chain_tfg
-from repro.wormhole import PipelineRunResult, WormholeSimulator
+from repro.results import RunResult
+from repro.wormhole import WormholeSimulator
 
 
 @pytest.fixture()
@@ -99,7 +100,7 @@ class TestContention:
 
 class TestRunResult:
     def make(self, completions, tau_in=10.0, warmup=1):
-        return PipelineRunResult(
+        return RunResult(
             tau_in=tau_in,
             completion_times=tuple(completions),
             warmup=warmup,
