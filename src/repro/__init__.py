@@ -24,6 +24,14 @@ figure-by-figure reproduction harness.
 """
 
 from repro.cache import CacheStats, ScheduleCache, schedule_cache_key
+from repro.check import (
+    ConformanceReport,
+    Finding,
+    FuzzReport,
+    analyze_schedule,
+    mutate_schedule,
+    run_fuzz,
+)
 from repro.core import (
     CommunicationSchedule,
     CompilerConfig,
@@ -108,8 +116,11 @@ __all__ = [
     "CompileProfile",
     "CompileProfiler",
     "CompilerConfig",
+    "ConformanceReport",
     "ExperimentSetup",
     "FeasibilityBounds",
+    "Finding",
+    "FuzzReport",
     "GeneralizedHypercube",
     "IntervalAllocationError",
     "IntervalSchedulingError",
@@ -135,6 +146,7 @@ __all__ = [
     "VerificationReport",
     "UtilizationExceededError",
     "WormholeSimulator",
+    "analyze_schedule",
     "annealed_allocation",
     "assign_paths",
     "available_backends",
@@ -153,11 +165,13 @@ __all__ = [
     "load_sweep",
     "lsd_assignment",
     "lsd_to_msd_route",
+    "mutate_schedule",
     "node_gantt",
     "pipeline_comparison",
     "predict_oi_risks",
     "random_allocation",
     "random_layered_tfg",
+    "run_fuzz",
     "save_schedule",
     "schedule_cache_key",
     "sequential_allocation",

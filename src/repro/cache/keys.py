@@ -82,8 +82,24 @@ def canonical_allocation(allocation: Mapping[str, int]) -> list[list[Any]]:
 
 
 def canonical_config(config: "CompilerConfig") -> dict[str, Any]:
-    """Every config field; new fields invalidate old keys automatically."""
-    return asdict(config)
+    """Every config field; new fields invalidate old keys automatically.
+
+    ``lp_backend`` is canonicalized to the backend ``"auto"`` *resolves
+    to in this environment*, not the literal string.  Hashing the
+    literal ``"auto"`` poisoned shared caches: an environment without
+    scipy resolves ``"auto"`` to the reference simplex, one with scipy
+    resolves it to HiGHS, yet both hashed to the same key — so a
+    negative ("infeasible") entry recorded by one solver was replayed
+    verbatim to the other.  Canonicalizing also unifies
+    ``key("auto") == key(resolved)`` within one environment, which is
+    what content addressing promises.
+    """
+    from repro.solvers import default_backend_name
+
+    fields = asdict(config)
+    if fields.get("lp_backend") == "auto":
+        fields["lp_backend"] = default_backend_name()
+    return fields
 
 
 def cache_key_payload(

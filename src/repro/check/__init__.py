@@ -1,0 +1,53 @@
+"""Independent schedule-conformance analysis and differential fuzzing.
+
+``repro.check`` is the correctness tooling that keeps the compiler
+honest.  The compiler's own :meth:`~repro.core.switching.
+CommunicationSchedule.validate` is built from the same data structures
+and helper functions that produced the schedule, so a compiler bug and a
+checker bug can cancel out.  Everything in this package re-derives the
+paper's guarantees from scratch:
+
+- :func:`~repro.check.analyzer.analyze_schedule` — a static conformance
+  analyzer operating only on the serialized schedule and the topology's
+  link set.  It re-derives continuous-time link exclusivity (including
+  wrapped windows at the ``tau_in`` frame boundary), per-node crossbar
+  port exclusivity, path continuity, window containment against
+  independently recomputed time bounds, buffering-freedom and
+  deadlock-freedom, and reports structured
+  :class:`~repro.check.analyzer.Finding` records instead of raising on
+  the first failure.
+- :mod:`~repro.check.mutate` — seeded schedule corruptions (shifted
+  slots, swapped crossbar ports, deleted commands, off-by-EPS window
+  overruns...) used to measure the analyzer's kill rate.
+- :mod:`~repro.check.fuzz` — a seeded differential fuzz harness that
+  compiles random points through both LP backends and through cold and
+  warm cache paths and cross-checks every verdict (``repro-sr fuzz``).
+
+See ``docs/verification.md`` for how the three verification tiers
+(static analyzer, crossbar replay, DES replay) fit together.
+"""
+
+from repro.check.analyzer import (
+    ConformanceReport,
+    Finding,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    analyze_schedule,
+)
+from repro.check.fuzz import FuzzPoint, FuzzReport, PointOutcome, run_fuzz
+from repro.check.mutate import MUTATIONS, MutatedSchedule, mutate_schedule
+
+__all__ = [
+    "ConformanceReport",
+    "Finding",
+    "FuzzPoint",
+    "FuzzReport",
+    "MUTATIONS",
+    "MutatedSchedule",
+    "PointOutcome",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "analyze_schedule",
+    "mutate_schedule",
+    "run_fuzz",
+]

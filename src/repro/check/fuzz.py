@@ -1,0 +1,398 @@
+"""Seeded differential fuzzing of the SR compiler pipeline.
+
+Every fuzz point is fully determined by one integer seed: a random
+layered TFG, a topology large enough to host it, a seeded random
+allocation, a bandwidth derived so every message fits its window, and a
+``tau_in`` picked from a small load grid.  Each point is then compiled
+and cross-checked along three independent axes:
+
+- **backend differential** — the point is compiled once per available LP
+  backend (always the pure-Python reference simplex; HiGHS too when
+  scipy is importable).  All backends must agree on feasibility, and
+  every feasible schedule must *individually* pass the full
+  verification stack (the LP solutions themselves may legitimately
+  differ).
+- **verifier differential** — for each feasible schedule, the static
+  conformance analyzer (:func:`repro.check.analyzer.analyze_schedule`),
+  the crossbar replay (:func:`repro.cp.replay_schedule`) and the
+  discrete-event replay
+  (:class:`~repro.core.executor.ScheduledRoutingExecutor`) must all
+  reach the same verdict: pass.
+- **cache differential** — the point is compiled cold through a disk
+  cache and again warm through a *fresh* cache object over the same
+  directory; the served result must be byte-identical to the fresh
+  compilation (same canonical entry for schedules, same reconstructed
+  error for negative entries).
+
+Any disagreement is shrunk (smaller TFG variants re-checked under the
+same seed) and written to a JSON reproducer file — see
+``docs/verification.md`` for the format.  The ``repro-sr fuzz`` CLI and
+the CI fuzz job drive :func:`run_fuzz` over a fixed seed corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.cache import ScheduleCache
+from repro.cache.store import error_to_entry, routing_to_entry
+from repro.check.analyzer import analyze_schedule
+from repro.core.compiler import CompilerConfig, ScheduledRouting, compile_schedule
+from repro.core.executor import ScheduledRoutingExecutor
+from repro.cp import replay_schedule
+from repro.errors import ReproError, SchedulingError
+from repro.mapping.allocation import random_allocation
+from repro.solvers import have_scipy
+from repro.tfg.analysis import TFGTiming
+from repro.tfg.synth import random_layered_tfg
+from repro.topology import Mesh, Torus, binary_hypercube
+from repro.topology.base import Topology
+
+#: Loads the seed grid draws tau_in from (tau_in = tau_c / load).
+_LOADS = (0.5, 0.75, 1.0)
+
+#: Compiler knobs kept small so a fuzz run stays CI-friendly.
+_CONFIG = dict(seed=0, max_paths=16, max_restarts=2, retries=1)
+
+#: DES replay length — warmup plus the executor's minimum measured window.
+_INVOCATIONS = 8
+_WARMUP = 4
+
+
+def _topologies() -> dict[str, Callable[[], Topology]]:
+    return {
+        "cube3": lambda: binary_hypercube(3),
+        "mesh33": lambda: Mesh((3, 3)),
+        "torus44": lambda: Torus((4, 4)),
+    }
+
+
+@dataclass(frozen=True)
+class FuzzPoint:
+    """One deterministic problem instance, reconstructible from its fields."""
+
+    seed: int
+    layers: int
+    width: int
+    edge_probability: float
+    topology: str
+    load: float
+
+    @staticmethod
+    def from_seed(seed: int) -> "FuzzPoint":
+        import random
+
+        rng = random.Random(seed)
+        layers = rng.randint(2, 3)
+        width = rng.randint(1, 3)
+        edge_probability = rng.uniform(0.5, 0.9)
+        tasks = layers * width
+        names = [
+            name for name, make in _topologies().items()
+            if make().num_nodes >= tasks
+        ]
+        return FuzzPoint(
+            seed=seed,
+            layers=layers,
+            width=width,
+            edge_probability=round(edge_probability, 3),
+            topology=rng.choice(names),
+            load=rng.choice(_LOADS),
+        )
+
+    def build(self):
+        """Materialize (timing, topology, allocation, tau_in)."""
+        tfg = random_layered_tfg(
+            self.seed,
+            layers=self.layers,
+            width=self.width,
+            edge_probability=self.edge_probability,
+            name=f"fuzz{self.seed}",
+        )
+        topology = _topologies()[self.topology]()
+        speeds = 40.0
+        tau_c = max(t.ops / speeds for t in tfg.tasks)
+        max_size = max((m.size_bytes for m in tfg.messages), default=0.0)
+        # Bandwidth such that the longest message fits well inside the
+        # tau_c message window (tau_m <= tau_c / 1.1).
+        bandwidth = max(64.0, 1.1 * max_size / tau_c)
+        timing = TFGTiming(tfg, bandwidth=bandwidth, speeds=speeds)
+        allocation = random_allocation(tfg, topology, self.seed)
+        tau_in = timing.tau_c / self.load
+        return timing, topology, allocation, tau_in
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "layers": self.layers,
+            "width": self.width,
+            "edge_probability": self.edge_probability,
+            "topology": self.topology,
+            "load": self.load,
+        }
+
+
+@dataclass
+class PointOutcome:
+    """What happened at one fuzz point."""
+
+    point: FuzzPoint
+    verdict: str = ""  # "feasible" | "infeasible" | "error"
+    backends: tuple[str, ...] = ()
+    disagreements: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz run."""
+
+    outcomes: list[PointOutcome]
+    reproducers: list[Path]
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def disagreements(self) -> list[str]:
+        return [d for o in self.outcomes for d in o.disagreements]
+
+    def summary(self) -> str:
+        feasible = sum(1 for o in self.outcomes if o.verdict == "feasible")
+        lines = [
+            f"fuzz: {len(self.outcomes)} points "
+            f"({feasible} feasible), "
+            f"{len(self.disagreements)} disagreement(s), "
+            f"{self.elapsed_s:.1f}s"
+        ]
+        lines.extend(f"  DISAGREE {d}" for d in self.disagreements)
+        return "\n".join(lines)
+
+
+def _entry_digest(routing: ScheduledRouting) -> str:
+    """Canonical JSON digest of a compilation result.
+
+    Wall-clock solver timings are stripped — they vary run to run and
+    say nothing about *what* was compiled.
+    """
+    entry = routing_to_entry(routing)
+    stats = entry.get("solver_stats")
+    if isinstance(stats, dict):
+        entry["solver_stats"] = {
+            k: v for k, v in stats.items() if k != "lp_wall_ms"
+        }
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def _error_digest(error: SchedulingError) -> str:
+    return json.dumps(
+        error_to_entry(error), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _compile(point_inputs, backend: str, cache: ScheduleCache | None = None):
+    """Compile one point; return ("feasible", routing) or ("infeasible", err)."""
+    timing, topology, allocation, tau_in = point_inputs
+    config = CompilerConfig(lp_backend=backend, **_CONFIG)
+    try:
+        routing = compile_schedule(
+            timing, topology, allocation, tau_in, config, cache=cache
+        )
+        return "feasible", routing
+    except SchedulingError as error:
+        return "infeasible", error
+
+
+def _verify_feasible(point: FuzzPoint, backend: str, inputs, routing,
+                     out: list[str]) -> None:
+    """Verifier differential: analyzer ≡ crossbar replay ≡ DES replay."""
+    timing, topology, allocation, tau_in = inputs
+    report = analyze_schedule(
+        routing.schedule, topology, timing=timing, allocation=allocation
+    )
+    if not report.ok:
+        out.append(
+            f"seed {point.seed} [{backend}]: analyzer flagged a compiled "
+            f"schedule: {report.summary()}"
+        )
+    try:
+        replay_schedule(routing.schedule, topology)
+    except ReproError as error:
+        out.append(
+            f"seed {point.seed} [{backend}]: crossbar replay rejected a "
+            f"compiled schedule: {error}"
+        )
+    try:
+        executor = ScheduledRoutingExecutor(
+            routing, timing, topology, allocation
+        )
+        executor.run(invocations=_INVOCATIONS, warmup=_WARMUP)
+    except ReproError as error:
+        out.append(
+            f"seed {point.seed} [{backend}]: DES replay rejected a "
+            f"compiled schedule: {error}"
+        )
+
+
+def _check_cache(point: FuzzPoint, backend: str, inputs, fresh,
+                 cache_root: Path, out: list[str]) -> None:
+    """Cache differential: cold-store then warm-serve must equal fresh."""
+    verdict, result = fresh
+    cache_dir = cache_root / f"seed{point.seed}-{backend}"
+    cold = _compile(inputs, backend, cache=ScheduleCache(cache_dir))
+    warm = _compile(inputs, backend, cache=ScheduleCache(cache_dir))
+    for label, run in (("cold", cold), ("warm", warm)):
+        if run[0] != verdict:
+            out.append(
+                f"seed {point.seed} [{backend}]: {label}-cache verdict "
+                f"{run[0]} != fresh verdict {verdict}"
+            )
+            return
+    if verdict == "feasible":
+        want = _entry_digest(result)
+        for label, run in (("cold", cold), ("warm", warm)):
+            if _entry_digest(run[1]) != want:
+                out.append(
+                    f"seed {point.seed} [{backend}]: {label}-cache schedule "
+                    f"differs from fresh compilation"
+                )
+    else:
+        want = _error_digest(result)
+        for label, run in (("cold", cold), ("warm", warm)):
+            if _error_digest(run[1]) != want:
+                out.append(
+                    f"seed {point.seed} [{backend}]: {label}-cache failure "
+                    f"differs from fresh failure"
+                )
+
+
+def check_point(
+    point: FuzzPoint, cache_root: Path | None = None
+) -> PointOutcome:
+    """Run every differential at one point and collect disagreements."""
+    outcome = PointOutcome(point=point)
+    backends = ["reference"] + (["highs"] if have_scipy() else [])
+    outcome.backends = tuple(backends)
+    try:
+        inputs = point.build()
+    except ReproError as error:
+        outcome.verdict = "error"
+        outcome.disagreements.append(
+            f"seed {point.seed}: point construction failed: {error}"
+        )
+        return outcome
+
+    runs = {b: _compile(inputs, b) for b in backends}
+    verdicts = {b: v for b, (v, _) in runs.items()}
+    outcome.verdict = verdicts[backends[0]]
+    if len(set(verdicts.values())) > 1:
+        outcome.disagreements.append(
+            f"seed {point.seed}: backends disagree on feasibility: "
+            + ", ".join(f"{b}={v}" for b, v in sorted(verdicts.items()))
+        )
+        return outcome
+
+    for backend in backends:
+        verdict, result = runs[backend]
+        if verdict == "feasible":
+            _verify_feasible(
+                point, backend, inputs, result, outcome.disagreements
+            )
+
+    with tempfile.TemporaryDirectory(dir=cache_root) as tmp:
+        for backend in backends:
+            _check_cache(
+                point, backend, inputs, runs[backend], Path(tmp),
+                outcome.disagreements,
+            )
+    return outcome
+
+
+def shrink_point(point: FuzzPoint, cache_root: Path | None = None,
+                 attempts: int = 6) -> FuzzPoint:
+    """Greedily look for a smaller point showing the same kind of failure.
+
+    Tries progressively smaller (layers, width) variants of the failing
+    point; returns the smallest variant that still disagrees, or the
+    original point when none does.  Bounded by ``attempts`` re-checks.
+    """
+    best = point
+    tried = 0
+    for layers in range(2, point.layers + 1):
+        for width in range(1, point.width + 1):
+            if (layers, width) >= (best.layers, best.width):
+                continue
+            if tried >= attempts:
+                return best
+            tried += 1
+            candidate = FuzzPoint(
+                seed=point.seed,
+                layers=layers,
+                width=width,
+                edge_probability=point.edge_probability,
+                topology=point.topology,
+                load=point.load,
+            )
+            if not check_point(candidate, cache_root).ok:
+                return candidate
+    return best
+
+
+def write_reproducer(
+    outcome: PointOutcome, out_dir: Path
+) -> Path:
+    """Serialize a failing point so ``repro-sr fuzz --seed N`` replays it."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"fuzz-{outcome.point.seed}.json"
+    payload = {
+        "format": "repro.fuzz-reproducer/1",
+        "point": outcome.point.to_dict(),
+        "backends": list(outcome.backends),
+        "disagreements": outcome.disagreements,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_fuzz(
+    seeds: Iterable[int] | Sequence[int],
+    out_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Fuzz every seed; shrink + write a reproducer per disagreement."""
+    started = time.perf_counter()
+    outcomes: list[PointOutcome] = []
+    reproducers: list[Path] = []
+    for seed in seeds:
+        point = FuzzPoint.from_seed(seed)
+        outcome = check_point(point)
+        if not outcome.ok:
+            small = shrink_point(point)
+            if small != point:
+                shrunk = check_point(small)
+                if not shrunk.ok:
+                    outcome = shrunk
+            if out_dir is not None:
+                reproducers.append(write_reproducer(outcome, Path(out_dir)))
+        outcomes.append(outcome)
+        if progress is not None:
+            status = "ok" if outcome.ok else "DISAGREE"
+            progress(
+                f"seed {seed}: {outcome.verdict or 'error'} "
+                f"[{','.join(outcome.backends)}] {status}"
+            )
+    return FuzzReport(
+        outcomes=outcomes,
+        reproducers=reproducers,
+        elapsed_s=time.perf_counter() - started,
+    )

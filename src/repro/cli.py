@@ -8,6 +8,8 @@ Runs a figure-style experiment from the shell::
     repro-sr matrix --jobs 4 --cache-dir ~/.cache/repro-schedules
     repro-sr faults --topology 6cube --fail-links 1 --seed 0
     repro-sr trace --mode sr --load 0.5 --out trace.json
+    repro-sr check omega.json --topology hypercube6
+    repro-sr fuzz --count 24 --out fuzz-reproducers/
 """
 
 from __future__ import annotations
@@ -207,9 +209,49 @@ def _cmd_matrix(args) -> int:
         allocation=lambda tfg, topology: allocator(tfg, topology),
         jobs=args.jobs,
         cache=args.cache_dir,
+        analyze=args.check,
     )
     print(format_matrix_result(result))
     return 0
+
+
+def _cmd_check(args) -> int:
+    from repro.check import analyze_schedule
+    from repro.core.io import load_schedule
+
+    topology = make_topology(args.topology)
+    schedule = load_schedule(args.schedule) if args.revalidate else None
+    if schedule is None:
+        from repro.check.analyzer import analyze_file
+
+        report = analyze_file(args.schedule, topology)
+    else:
+        report = analyze_schedule(schedule, topology)
+    print(f"{args.schedule} on {topology.name}:")
+    print(report.summary())
+    if args.trace:
+        from repro.trace import TraceRecorder, write_chrome_trace
+
+        tracer = TraceRecorder()
+        emitted = report.emit(tracer)
+        write_chrome_trace(tracer.events, args.trace)
+        print(f"{emitted} finding event(s) written to {args.trace}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.check import run_fuzz
+
+    seeds = range(args.base_seed, args.base_seed + args.count)
+    report = run_fuzz(
+        seeds,
+        out_dir=args.out,
+        progress=print if args.verbose else None,
+    )
+    print(report.summary())
+    for path in report.reproducers:
+        print(f"reproducer written to {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_inspect(args) -> int:
@@ -435,7 +477,55 @@ def main(argv: list[str] | None = None) -> int:
         default="auto",
         help="LP solver backend for both LP stages",
     )
+    p_matrix.add_argument(
+        "--check", action="store_true",
+        help="run the conformance analyzer on every feasible point "
+             "(flagged points show CHK instead of OK)",
+    )
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_check = sub.add_parser(
+        "check",
+        help="independent conformance analysis of a saved schedule",
+    )
+    p_check.add_argument("schedule", help="path to a saved schedule (omega.json)")
+    p_check.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGIES) + sorted(TOPOLOGY_ALIASES),
+        default="hypercube6",
+        help="machine the schedule targets",
+    )
+    p_check.add_argument(
+        "--revalidate", action="store_true",
+        help="also run the loader's own validation (raises on first "
+             "failure) instead of analyzing the raw serialized form",
+    )
+    p_check.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write the findings as Chrome trace events",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: both LP backends, cold+warm cache, "
+             "analyzer vs replay verdicts",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=24, help="number of fuzz points"
+    )
+    p_fuzz.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the corpus (seeds are consecutive)",
+    )
+    p_fuzz.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="directory for reproducer files (written on disagreement)",
+    )
+    p_fuzz.add_argument(
+        "--verbose", action="store_true", help="print one line per point"
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_faults = sub.add_parser(
         "faults",

@@ -54,6 +54,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.core.compiler
 #: Verdict code when a matrix point compiled.
 OK = "OK"
 
+#: Verdict code when a matrix point compiled but the independent
+#: conformance analyzer (:mod:`repro.check`) flagged the schedule.
+CHECK_FLAGGED = "CHK"
+
 #: ``SchedulingError.stage`` → feasibility-matrix verdict abbreviation.
 STAGE_VERDICT_CODES = {
     "utilization": "U>1",

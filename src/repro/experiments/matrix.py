@@ -23,7 +23,7 @@ from typing import Any, Mapping
 
 from repro.cache import ScheduleCache
 from repro.core.compiler import CompilerConfig, compile_schedule
-from repro.core.pipeline import OK, STAGE_VERDICT_CODES, verdict_code
+from repro.core.pipeline import CHECK_FLAGGED, OK, STAGE_VERDICT_CODES, verdict_code
 from repro.errors import SchedulingError
 from repro.experiments.setup import standard_setup
 from repro.tfg.graph import TaskFlowGraph
@@ -84,12 +84,18 @@ def _compile_point(
     config: CompilerConfig,
     placed: Mapping[str, int] | None,
     cache: ScheduleCache | None,
+    analyze: bool = False,
 ) -> str:
-    """Compile one matrix point and return its verdict code."""
+    """Compile one matrix point and return its verdict code.
+
+    With ``analyze=True`` every feasible schedule additionally runs
+    through the independent conformance analyzer (:mod:`repro.check`);
+    a flagged schedule turns the verdict from ``OK`` into ``CHK``.
+    """
     kwargs = {} if placed is None else {"allocation": placed}
     setup = standard_setup(tfg, topology, bandwidth, **kwargs)
     try:
-        compile_schedule(
+        routing = compile_schedule(
             setup.timing,
             setup.topology,
             setup.allocation,
@@ -97,9 +103,20 @@ def _compile_point(
             config,
             cache=cache,
         )
-        return OK
     except SchedulingError as error:
         return verdict_code(error)
+    if analyze:
+        from repro.check.analyzer import analyze_schedule
+
+        report = analyze_schedule(
+            routing.schedule,
+            setup.topology,
+            timing=setup.timing,
+            allocation=setup.allocation,
+        )
+        if not report.ok:
+            return CHECK_FLAGGED
+    return OK
 
 
 def _matrix_cell(payload: tuple) -> tuple[int, str, dict | None]:
@@ -110,10 +127,11 @@ def _matrix_cell(payload: tuple) -> tuple[int, str, dict | None]:
     tier is multi-process safe; the memory tier is per-process) and
     ships its counters back for aggregation.
     """
-    index, tfg, topology, bandwidth, load, config, placed, cache_dir = payload
+    (index, tfg, topology, bandwidth, load, config, placed, cache_dir,
+     analyze) = payload
     cache = ScheduleCache(cache_dir) if cache_dir is not None else None
     verdict = _compile_point(
-        tfg, topology, bandwidth, load, config, placed, cache
+        tfg, topology, bandwidth, load, config, placed, cache, analyze
     )
     stats = cache.stats.as_dict() if cache is not None else None
     return index, verdict, stats
@@ -128,6 +146,7 @@ def run_feasibility_matrix(
     allocation=None,
     jobs: int = 1,
     cache: ScheduleCache | str | Path | None = None,
+    analyze: bool = False,
 ) -> MatrixResult:
     """Compile the workload at every (topology, bandwidth, load) point.
 
@@ -137,6 +156,10 @@ def run_feasibility_matrix(
         Optional callable ``(tfg, topology) -> Allocation`` overriding
         the default sequential placement (evaluated once per topology,
         in the parent process).
+    analyze:
+        Run every feasible schedule through the independent conformance
+        analyzer (:mod:`repro.check`); flagged points report the
+        ``CHK`` verdict instead of ``OK``.
     jobs:
         Number of worker processes.  ``1`` (default) compiles serially
         in-process; ``N > 1`` fans the points out over a
@@ -175,7 +198,7 @@ def run_feasibility_matrix(
         payloads = [
             (
                 i, tfg, topology, bandwidth, load, config,
-                placements[topology.name], cache_dir,
+                placements[topology.name], cache_dir, analyze,
             )
             for i, (topology, bandwidth, load) in enumerate(points)
         ]
@@ -198,7 +221,7 @@ def run_feasibility_matrix(
         verdicts = [
             _compile_point(
                 tfg, topology, bandwidth, load, config,
-                placements[topology.name], cache,
+                placements[topology.name], cache, analyze,
             )
             for topology, bandwidth, load in points
         ]

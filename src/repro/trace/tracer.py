@@ -52,6 +52,11 @@ Event taxonomy (``category`` values)
 ``compile``
     Compiler stage spans (wall-clock, from
     :class:`~repro.trace.profile.CompileProfiler`).
+``check``
+    Conformance-analyzer findings
+    (:meth:`repro.check.analyzer.ConformanceReport.emit`): one instant
+    per finding at the start of its offending time range, on a
+    ``check:<code>`` track, with severity / message / link in ``args``.
 """
 
 from __future__ import annotations

@@ -146,6 +146,86 @@ class TestNegativeCaching:
             assert second.value.peak == pytest.approx(first.value.peak)
 
 
+class TestBackendPoisoning:
+    """Regression: ``lp_backend="auto"`` used to hash as the literal
+    string, so a scipy environment (auto -> HiGHS) and a scipy-less one
+    (auto -> reference simplex) computed the *same* key for the same
+    point — and a negative entry recorded by one solver was replayed
+    verbatim to the other through a shared disk cache."""
+
+    def infeasible_args(self, cube3):
+        from repro.experiments import standard_setup
+        from repro.mapping import sequential_allocation
+        from repro.tfg.synth import chain_tfg
+
+        setup = standard_setup(
+            chain_tfg(4, ops=400.0, size_bytes=1280.0), cube3,
+            bandwidth=64.0, allocator=sequential_allocation,
+        )
+        auto = dataclasses.replace(CONFIG, lp_backend="auto")
+        return (
+            setup.timing, setup.topology, setup.allocation,
+            setup.tau_in_for_load(0.5), auto,
+        )
+
+    def test_auto_keys_differ_across_environments(
+        self, small_setup, monkeypatch
+    ):
+        import repro.solvers as solvers
+
+        auto = dataclasses.replace(CONFIG, lp_backend="auto")
+
+        def key():
+            return schedule_cache_key(
+                small_setup.timing, small_setup.topology,
+                small_setup.allocation, small_setup.tau_in_for_load(0.5),
+                auto,
+            )
+
+        monkeypatch.setattr(solvers, "default_backend_name", lambda: "highs")
+        with_scipy = key()
+        monkeypatch.setattr(
+            solvers, "default_backend_name", lambda: "reference"
+        )
+        without_scipy = key()
+        assert with_scipy != without_scipy
+
+    def test_negative_entry_not_cross_served(
+        self, cube3, tmp_path, monkeypatch
+    ):
+        import repro.solvers as solvers
+
+        args = self.infeasible_args(cube3)
+
+        # Environment A (scipy): record the failure in a shared cache.
+        monkeypatch.setattr(solvers, "default_backend_name", lambda: "highs")
+        cache_a = ScheduleCache(tmp_path)
+        with pytest.raises(SchedulingError):
+            compile_schedule(*args, cache=cache_a)
+        assert cache_a.stats.as_dict()["stores"] == 1
+
+        # Environment B (no scipy): same shared directory, different
+        # resolved solver — must miss, not replay A's verdict.
+        monkeypatch.setattr(
+            solvers, "default_backend_name", lambda: "reference"
+        )
+        cache_b = ScheduleCache(tmp_path)
+        with pytest.raises(SchedulingError):
+            compile_schedule(*args, cache=cache_b)
+        stats = cache_b.stats.as_dict()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 1 and stats["stores"] == 1
+
+    def test_same_environment_still_replays(self, cube3, tmp_path):
+        args = self.infeasible_args(cube3)
+        with pytest.raises(SchedulingError):
+            compile_schedule(*args, cache=ScheduleCache(tmp_path))
+        reopened = ScheduleCache(tmp_path)
+        with pytest.raises(SchedulingError):
+            compile_schedule(*args, cache=reopened)
+        assert reopened.stats.as_dict()["hits"] == 1
+
+
 class TestKeyScheme:
     def base_key(self, setup, load=0.5, config=CONFIG):
         return schedule_cache_key(
@@ -175,9 +255,23 @@ class TestKeyScheme:
     def test_backend_choice_perturbs_key(self, small_setup):
         # Different LP engines may pick different (equally valid)
         # optima, so the backend is part of the identity.
-        other = dataclasses.replace(CONFIG, lp_backend="reference")
-        assert self.base_key(small_setup) != self.base_key(
-            small_setup, config=other
+        highs = dataclasses.replace(CONFIG, lp_backend="highs")
+        reference = dataclasses.replace(CONFIG, lp_backend="reference")
+        assert self.base_key(small_setup, config=highs) != self.base_key(
+            small_setup, config=reference
+        )
+
+    def test_auto_backend_keys_as_its_resolution(self, small_setup):
+        # "auto" is an alias, not an identity: its key must equal the
+        # key of whatever backend it resolves to in this environment.
+        from repro.solvers import default_backend_name
+
+        auto = dataclasses.replace(CONFIG, lp_backend="auto")
+        resolved = dataclasses.replace(
+            CONFIG, lp_backend=default_backend_name()
+        )
+        assert self.base_key(small_setup, config=auto) == self.base_key(
+            small_setup, config=resolved
         )
 
     def test_allocation_perturbs_key(self, small_setup):

@@ -1,0 +1,124 @@
+"""Seeded-mutation suite: the analyzer must kill injected corruptions.
+
+A detector that never fires on clean schedules is only useful if it
+fires on broken ones.  Each test corrupts a known-good compiled schedule
+with one seeded mutation from :mod:`repro.check.mutate` and asserts the
+analyzer reports at least one error; the aggregate test requires a
+>= 95% kill rate over the whole corpus (ISSUE 4 acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import MUTATIONS, analyze_schedule, mutate_schedule
+from repro.check.mutate import MutationSkipped
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.tfg import TFGTiming
+from repro.tfg.synth import chain_tfg
+
+CONFIG = CompilerConfig(seed=0, max_paths=16, max_restarts=2, retries=1)
+
+#: Seeds per mutation operator in the corpus.
+SEEDS = range(8)
+
+#: ISSUE 4 acceptance criterion.
+REQUIRED_KILL_RATE = 0.95
+
+
+@pytest.fixture(scope="module")
+def compiled(cube3):
+    """Multi-hop compilation: paths of 2-3 hops give every mutation a
+    site (reroute/truncate need intermediate nodes)."""
+    timing = TFGTiming(chain_tfg(4, 400, 1280), 128.0, speeds=40.0)
+    allocation = {"t0": 0, "t1": 3, "t2": 5, "t3": 6}
+    routing = compile_schedule(timing, cube3, allocation, 40.0, CONFIG)
+    return routing, timing, cube3, allocation
+
+
+def analyze(schedule, compiled):
+    _, timing, topology, allocation = compiled
+    return analyze_schedule(
+        schedule, topology, timing=timing, allocation=allocation
+    )
+
+
+class TestMutationKill:
+    def test_unmutated_baseline_is_clean(self, compiled):
+        routing = compiled[0]
+        assert analyze(routing.schedule, compiled).ok
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_each_operator_is_killed(self, compiled, mutation):
+        routing = compiled[0]
+        applied = 0
+        killed = 0
+        for seed in SEEDS:
+            try:
+                mutated = mutate_schedule(
+                    routing.schedule, seed, mutation=mutation
+                )
+            except MutationSkipped:
+                continue
+            applied += 1
+            if not analyze(mutated.schedule, compiled).ok:
+                killed += 1
+        if applied == 0:
+            pytest.skip(f"{mutation}: no site on this schedule")
+        assert killed == applied, (
+            f"{mutation}: {applied - killed} of {applied} corruptions "
+            "survived the analyzer"
+        )
+
+    def test_corpus_kill_rate(self, compiled):
+        routing = compiled[0]
+        applied = 0
+        killed = 0
+        survivors = []
+        for mutation in sorted(MUTATIONS):
+            for seed in SEEDS:
+                try:
+                    mutated = mutate_schedule(
+                        routing.schedule, seed, mutation=mutation
+                    )
+                except MutationSkipped:
+                    continue
+                applied += 1
+                if analyze(mutated.schedule, compiled).ok:
+                    survivors.append((mutation, seed, mutated.detail))
+                else:
+                    killed += 1
+        assert applied >= 40, "corpus too small to be meaningful"
+        assert killed / applied >= REQUIRED_KILL_RATE, (
+            f"kill rate {killed}/{applied} below "
+            f"{REQUIRED_KILL_RATE:.0%}; survivors: {survivors}"
+        )
+
+    def test_mutations_do_not_touch_the_original(self, compiled):
+        routing = compiled[0]
+        before = {
+            name: slots for name, slots in routing.schedule.slots.items()
+        }
+        for mutation in sorted(MUTATIONS):
+            try:
+                mutate_schedule(routing.schedule, 0, mutation=mutation)
+            except MutationSkipped:
+                continue
+        assert routing.schedule.slots == before
+        assert analyze(routing.schedule, compiled).ok
+
+    def test_required_operators_present(self):
+        # The operators named by the issue must exist in the registry.
+        for required in (
+            "shift-slot", "swap-crossbar-ports", "delete-command",
+            "overrun-window-eps",
+        ):
+            assert required in MUTATIONS
+
+    def test_seeded_mutation_is_deterministic(self, compiled):
+        routing = compiled[0]
+        a = mutate_schedule(routing.schedule, 3)
+        b = mutate_schedule(routing.schedule, 3)
+        assert a.mutation == b.mutation
+        assert a.detail == b.detail
+        assert a.schedule.slots == b.schedule.slots

@@ -51,3 +51,47 @@ class TestVerifySchedule:
             routing, timing, topology, allocation, invocations=10, warmup=2
         )
         assert report.invocations_executed == 10
+
+    def test_clean_schedule_has_zero_findings(self, compiled):
+        routing, timing, topology, allocation = compiled
+        report = verify_schedule(routing, timing, topology, allocation)
+        assert report.analyzer_findings == 0
+
+    def test_invocations_executed_reports_executor_count(
+        self, compiled, monkeypatch
+    ):
+        # Regression: the report used to echo the caller's `invocations`
+        # argument.  Make the executor return fewer completions than
+        # requested and check the report tells the truth.
+        from repro.core import verify as verify_module
+
+        real_run = verify_module.ScheduledRoutingExecutor.run
+
+        def short_run(self, invocations=24, warmup=4, **kwargs):
+            result = real_run(
+                self, invocations=invocations, warmup=warmup, **kwargs
+            )
+            object.__setattr__(
+                result, "completion_times", result.completion_times[:-3]
+            )
+            return result
+
+        monkeypatch.setattr(
+            verify_module.ScheduledRoutingExecutor, "run", short_run
+        )
+        routing, timing, topology, allocation = compiled
+        report = verify_schedule(
+            routing, timing, topology, allocation, invocations=12, warmup=4
+        )
+        assert report.invocations_executed == 9
+
+    def test_insufficient_invocations_rejected_at_boundary(self, compiled):
+        # Regression: `invocations - warmup >= 4` used to surface as a
+        # ScheduleValidationError from deep inside the executor; it is a
+        # caller error and must be a ValueError at the verify boundary.
+        routing, timing, topology, allocation = compiled
+        with pytest.raises(ValueError, match="warmup"):
+            verify_schedule(
+                routing, timing, topology, allocation,
+                invocations=6, warmup=4,
+            )

@@ -125,6 +125,66 @@ class TestRunFeasibilityMatrix:
         assert "hit rate" in text
 
 
+class TestAnalyzeColumn:
+    """ISSUE acceptance: with ``analyze=True`` every feasible matrix
+    point must come back analyzer-clean (verdict stays ``OK``), and a
+    flagged point is reported as ``CHK`` rather than silently ``OK``."""
+
+    def test_feasible_points_stay_ok_under_analysis(self, cube3):
+        tfg = chain_tfg(4, 400, 1280)
+        args = (tfg, [cube3], [64.0, 128.0], [0.5, 1.0])
+        plain = run_feasibility_matrix(*args, config=SMALL_CONFIG)
+        analyzed = run_feasibility_matrix(
+            *args, config=SMALL_CONFIG, analyze=True
+        )
+        assert analyzed.rows == plain.rows
+        assert "CHK" not in {
+            v for row in analyzed.rows for v in row.verdicts
+        }
+        assert any(
+            v == "OK" for row in analyzed.rows for v in row.verdicts
+        )
+
+    def test_flagged_schedule_reports_chk(self, cube3, monkeypatch):
+        import repro.check.analyzer as analyzer_module
+        from repro.check.analyzer import ConformanceReport, Finding
+
+        def flag_everything(schedule, topology, **kwargs):
+            return ConformanceReport(
+                tau_in=schedule.tau_in,
+                findings=(
+                    Finding(
+                        severity="error", code="link-overlap",
+                        detail="forced", message="m0",
+                    ),
+                ),
+                checks=("link",),
+            )
+
+        monkeypatch.setattr(
+            analyzer_module, "analyze_schedule", flag_everything
+        )
+        tfg = chain_tfg(4, 400, 1280)
+        result = run_feasibility_matrix(
+            tfg, [cube3], [128.0], [1.0],
+            config=SMALL_CONFIG, analyze=True,
+        )
+        assert result.rows[0].verdicts == ("CHK",)
+
+    def test_analysis_off_by_default(self, cube3, monkeypatch):
+        import repro.check.analyzer as analyzer_module
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("analyzer invoked without analyze=True")
+
+        monkeypatch.setattr(analyzer_module, "analyze_schedule", explode)
+        tfg = chain_tfg(4, 400, 1280)
+        result = run_feasibility_matrix(
+            tfg, [cube3], [128.0], [1.0], config=SMALL_CONFIG
+        )
+        assert result.rows[0].verdicts == ("OK",)
+
+
 class TestFormatMatrix:
     def test_renders_table(self, small_matrix):
         text = format_matrix(small_matrix)

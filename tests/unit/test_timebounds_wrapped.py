@@ -1,0 +1,189 @@
+"""Property + example tests for wrapped windows at the frame boundary.
+
+`MessageTimeBounds.contains` and the conformance analyzer both reason
+about ``deadline < release`` windows split as ``[0, d] + [r, tau_in]``.
+These tests pin the EPS/`le` comparison edge at ``t = 0`` and
+``t = tau_in`` exactly (ISSUE 4 satellite).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timebounds import MessageTimeBounds, compute_time_bounds
+from repro.tfg import TFGTiming
+from repro.tfg.synth import chain_tfg
+from repro.units import EPS
+
+TAU = 12.0
+
+
+def wrapped(release=8.0, deadline=5.0, duration=4.0):
+    """Bounds whose window wraps the frame edge: [0, 5] + [8, 12]."""
+    return MessageTimeBounds(
+        name="m", release=release, deadline=deadline, duration=duration,
+        windows=((0.0, deadline), (release, TAU)),
+    )
+
+
+class TestContainsExamples:
+    def test_segment_interiors(self):
+        b = wrapped()
+        assert b.contains(1.0, 4.0)
+        assert b.contains(9.0, 11.0)
+
+    def test_exact_frame_edges(self):
+        # Exactly t = 0 and t = tau_in: the le() comparison edge.
+        b = wrapped()
+        assert b.contains(0.0, 5.0)
+        assert b.contains(8.0, TAU)
+        assert b.contains(0.0, 0.5)
+        assert b.contains(TAU - 0.5, TAU)
+
+    def test_gap_is_outside(self):
+        b = wrapped()
+        assert not b.contains(5.5, 7.5)  # fully inside the gap
+        assert not b.contains(4.0, 6.0)  # straddles the deadline
+        assert not b.contains(7.0, 9.0)  # straddles the release
+        assert not b.contains(4.0, 9.0)  # spans the whole gap
+
+    def test_eps_tolerance_at_edges(self):
+        b = wrapped()
+        # Within EPS of the edge: treated as on the edge.
+        assert b.contains(-EPS / 2, 5.0)
+        assert b.contains(8.0, TAU + EPS / 2)
+        assert b.contains(0.0, 5.0 + EPS / 2)
+        # Beyond EPS: outside.
+        assert not b.contains(0.0, 5.0 + 5e-7)
+        assert not b.contains(8.0 - 5e-7, TAU)
+
+    def test_wrap_written_interval_is_not_contained(self):
+        # contains() works on frame-normalized intervals: an interval
+        # written across tau_in is the caller's to split first.
+        b = wrapped()
+        assert not b.contains(11.0, 13.0)
+
+    def test_active_length_and_slack(self):
+        b = wrapped(duration=4.0)
+        assert b.active_length == 5.0 + 4.0
+        assert b.slack == 5.0
+        assert not b.no_slack
+
+
+class TestContainsProperties:
+    @given(
+        deadline=st.floats(1.0, 5.0),
+        release=st.floats(7.0, 11.0),
+        start=st.floats(0.0, TAU),
+        length=st.floats(0.0, TAU),
+    )
+    def test_contained_implies_inside_one_segment(
+        self, deadline, release, start, length
+    ):
+        b = wrapped(release=release, deadline=deadline)
+        end = min(start + length, TAU)
+        if b.contains(start, end):
+            assert (
+                start >= -EPS and end <= deadline + EPS
+            ) or (start >= release - EPS and end <= TAU + EPS)
+
+    @given(
+        deadline=st.floats(1.0, 5.0),
+        release=st.floats(7.0, 11.0),
+        fraction=st.floats(0.0, 1.0),
+        width=st.floats(0.0, 1.0),
+    )
+    def test_intervals_inside_a_segment_are_contained(
+        self, deadline, release, fraction, width
+    ):
+        b = wrapped(release=release, deadline=deadline)
+        for seg_start, seg_end in b.windows:
+            span = seg_end - seg_start
+            start = seg_start + fraction * span
+            end = min(start + width * span, seg_end)
+            assert b.contains(start, end)
+
+    @given(
+        deadline=st.floats(1.0, 5.0),
+        release=st.floats(7.0, 11.0),
+    )
+    def test_gap_midpoint_never_contained(self, deadline, release):
+        b = wrapped(release=release, deadline=deadline)
+        mid = (deadline + release) / 2
+        assert not b.contains(mid - 1e-6, mid + 1e-6)
+
+
+class TestComputedWrappedBounds:
+    def test_wrap_produces_exact_frame_edge_segments(self):
+        # chain(3) at tau_in=12: release 10, window 10 -> [0,8]+[10,12].
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, 12.0)
+        b = bounds.bounds["m0"]
+        assert b.windows == ((0.0, 8.0), (10.0, 12.0))
+        assert b.deadline < b.release
+        # Both frame edges are inside the window.
+        assert b.contains(0.0, 1.0)
+        assert b.contains(11.0, 12.0)
+        assert not b.contains(8.5, 9.5)
+
+    def test_window_ending_exactly_at_frame_edge_does_not_wrap(self):
+        # chain(2): single message, release 10, window 10, tau_in=20 ->
+        # [10, 20] exactly; the edge case must yield ONE segment with
+        # deadline tau_in, not a wrapped pair.
+        timing = TFGTiming(chain_tfg(2, 400, 1280), 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, 20.0)
+        b = bounds.bounds["m0"]
+        assert len(b.windows) == 1
+        assert b.windows[0][1] == 20.0
+        assert b.deadline == 20.0
+        assert b.contains(10.0, 20.0)
+
+    @given(tau_in=st.floats(10.5, 19.5))
+    def test_wrapped_segments_partition_the_window(self, tau_in):
+        # For any period below release+window, the two segments must
+        # jointly cover exactly the window length.
+        timing = TFGTiming(chain_tfg(2, 400, 1280), 128.0, speeds=40.0)
+        bounds = compute_time_bounds(timing, tau_in)
+        b = bounds.bounds["m0"]
+        total = sum(end - start for start, end in b.windows)
+        assert abs(total - timing.message_window) < 1e-9
+        for start, end in b.windows:
+            assert -EPS <= start <= end <= tau_in + EPS
+
+
+class TestAnalyzerOnWrappedWindows:
+    def test_compiled_wrapped_schedule_is_conformant(self, cube3):
+        from repro.check import analyze_schedule
+        from repro.core.compiler import compile_schedule
+
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3}
+        routing = compile_schedule(timing, cube3, allocation, 12.0)
+        report = analyze_schedule(
+            routing.schedule, cube3, timing=timing, allocation=allocation
+        )
+        assert report.ok
+
+    def test_mutated_wrapped_schedule_is_killed(self, cube3):
+        from repro.check import analyze_schedule, mutate_schedule
+        from repro.check.mutate import MutationSkipped
+        from repro.core.compiler import compile_schedule
+
+        timing = TFGTiming(chain_tfg(3, 400, 1280), 128.0, speeds=40.0)
+        allocation = {"t0": 0, "t1": 1, "t2": 3}
+        routing = compile_schedule(timing, cube3, allocation, 12.0)
+        applied = killed = 0
+        for seed in range(6):
+            try:
+                mutated = mutate_schedule(routing.schedule, seed)
+            except MutationSkipped:
+                continue
+            applied += 1
+            report = analyze_schedule(
+                mutated.schedule, cube3,
+                timing=timing, allocation=allocation,
+            )
+            if not report.ok:
+                killed += 1
+        assert applied > 0 and killed == applied
