@@ -42,6 +42,15 @@ from repro.core import (
     lsd_assignment,
 )
 from repro.core.timebounds import compute_time_bounds
+from repro.diagnose import (
+    Diagnosis,
+    Refutation,
+    WrReport,
+    analyze_wormhole,
+    diagnose_instance,
+    explain_assignment,
+    verify_refutation,
+)
 from repro.errors import (
     IntervalAllocationError,
     IntervalSchedulingError,
@@ -49,6 +58,7 @@ from repro.errors import (
     ScheduleValidationError,
     SchedulingError,
     SimulationError,
+    StaticallyRefutedError,
     UtilizationExceededError,
 )
 from repro.experiments import (
@@ -117,6 +127,7 @@ __all__ = [
     "CompileProfiler",
     "CompilerConfig",
     "ConformanceReport",
+    "Diagnosis",
     "ExperimentSetup",
     "FeasibilityBounds",
     "Finding",
@@ -128,6 +139,7 @@ __all__ = [
     "Mesh",
     "OiRisk",
     "Message",
+    "Refutation",
     "ReproError",
     "RunConfig",
     "RunResult",
@@ -138,6 +150,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "SpikeStats",
+    "StaticallyRefutedError",
     "TFGTiming",
     "Task",
     "TaskFlowGraph",
@@ -146,7 +159,9 @@ __all__ = [
     "VerificationReport",
     "UtilizationExceededError",
     "WormholeSimulator",
+    "WrReport",
     "analyze_schedule",
+    "analyze_wormhole",
     "annealed_allocation",
     "assign_paths",
     "available_backends",
@@ -155,8 +170,10 @@ __all__ = [
     "compile_schedule",
     "compute_time_bounds",
     "default_backend_name",
+    "diagnose_instance",
     "dvb_tfg",
     "enumerate_minimal_paths",
+    "explain_assignment",
     "feasibility_bounds",
     "get_backend",
     "jitter_report",
@@ -181,6 +198,7 @@ __all__ = [
     "to_chrome_trace",
     "trace_occupancy_chart",
     "utilization_comparison",
+    "verify_refutation",
     "verify_schedule",
     "write_chrome_trace",
     "__version__",

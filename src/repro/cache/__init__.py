@@ -25,6 +25,7 @@ from repro.cache.keys import (
     canonical_tfg,
     canonical_timing,
     canonical_topology,
+    diagnosis_cache_key,
     schedule_cache_key,
 )
 from repro.cache.store import (
@@ -46,6 +47,7 @@ __all__ = [
     "canonical_tfg",
     "canonical_timing",
     "canonical_topology",
+    "diagnosis_cache_key",
     "entry_to_error",
     "entry_to_routing",
     "error_to_entry",

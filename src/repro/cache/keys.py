@@ -131,3 +131,31 @@ def schedule_cache_key(
     payload = cache_key_payload(timing, topology, allocation, tau_in, config)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def diagnosis_cache_key(
+    timing: "TFGTiming",
+    topology: "Topology",
+    allocation: Mapping[str, int],
+    tau_in: float,
+    sync_margin: float = 0.0,
+) -> str:
+    """Key for a cached :class:`~repro.diagnose.Diagnosis`.
+
+    Diagnosis depends only on the instance (timing, topology,
+    allocation, period, sync margin) — not on the compiler config — so
+    the key omits seeds, backends and retry knobs: the same instance
+    diagnosed under any config hits the same entry.  The ``"analysis"``
+    marker keeps the key space disjoint from schedule keys.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "analysis": "diagnosis",
+        "timing": canonical_timing(timing),
+        "topology": canonical_topology(topology),
+        "allocation": canonical_allocation(allocation),
+        "tau_in": float(tau_in),
+        "sync_margin": float(sync_margin),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -38,6 +38,7 @@ from repro.errors import (
     IntervalAllocationError,
     IntervalSchedulingError,
     SchedulingError,
+    StaticallyRefutedError,
     UtilizationExceededError,
 )
 
@@ -162,6 +163,8 @@ def error_to_entry(error: SchedulingError) -> dict[str, Any]:
             "required": error.required,
             "available": error.available,
         }
+    elif isinstance(error, StaticallyRefutedError):
+        args = {"refutations": [dict(r) for r in error.refutations]}
     return {
         "format": CACHE_VERSION,
         "kind": "failure",
@@ -188,6 +191,10 @@ def entry_to_error(entry: Mapping[str, Any]) -> SchedulingError:
             int(args["interval_index"]),
             float(args["required"]),
             float(args["available"]),
+        )
+    elif kind == "StaticallyRefutedError":
+        error = StaticallyRefutedError(
+            [dict(r) for r in args.get("refutations", [])]
         )
     else:
         error = SchedulingError(entry["message"])
@@ -238,6 +245,11 @@ class ScheduleCache:
         if entry is None:
             self.stats.misses += 1
             return None
+        if entry.get("kind") not in ("schedule", "failure"):
+            # A diagnosis (or future) entry under a schedule key: a bug
+            # upstream, but never replay it as a compilation result.
+            self.stats.misses += 1
+            return None
         self.stats.hits += 1
         if entry["kind"] == "failure":
             raise entry_to_error(entry)
@@ -250,6 +262,38 @@ class ScheduleCache:
     def store_failure(self, key: str, error: SchedulingError) -> None:
         """Record a compilation failure (negative caching)."""
         self._put(key, error_to_entry(error))
+
+    def store_diagnosis(self, key: str, diagnosis: Any) -> None:
+        """Record a :class:`~repro.diagnose.Diagnosis` (positive or not).
+
+        Diagnosis entries use keys from
+        :func:`~repro.cache.keys.diagnosis_cache_key`, a key space
+        disjoint from schedule keys, so they never shadow a compiled
+        schedule.
+        """
+        self._put(
+            key,
+            {
+                "format": CACHE_VERSION,
+                "kind": "diagnosis",
+                "diagnosis": diagnosis.to_dict(),
+            },
+        )
+
+    def fetch_diagnosis(self, key: str) -> Any | None:
+        """Look up a stored diagnosis; ``None`` on miss or wrong kind."""
+        entry = self._memory.get(key)
+        if entry is None and self.directory is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if entry is None or entry.get("kind") != "diagnosis":
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        from repro.diagnose.certificates import Diagnosis
+
+        return Diagnosis.from_dict(entry["diagnosis"])
 
     def invalidate(self, key: str) -> None:
         """Drop one entry from both tiers."""

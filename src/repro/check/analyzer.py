@@ -54,7 +54,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping
+from os import PathLike
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.topology.base import Topology
 from repro.units import EPS
@@ -312,7 +313,7 @@ class _Analysis:
     topology: Topology
     findings: list[Finding] = field(default_factory=list)
 
-    def add(self, severity: str, code: str, detail: str, **where) -> None:
+    def add(self, severity: str, code: str, detail: str, **where: Any) -> None:
         self.findings.append(Finding(severity, code, detail, **where))
 
 
@@ -379,7 +380,7 @@ def analyze_schedule(
 
 
 def analyze_file(
-    path, topology: Topology, **kwargs
+    path: "str | PathLike[str]", topology: Topology, **kwargs: Any
 ) -> ConformanceReport:
     """Analyze a schedule previously saved with
     :func:`repro.core.io.save_schedule`.

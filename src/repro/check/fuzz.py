@@ -23,6 +23,11 @@ and cross-checked along three independent axes:
   directory; the served result must be byte-identical to the fresh
   compilation (same canonical entry for schedules, same reconstructed
   error for negative entries).
+- **prescreen soundness** — the static instance diagnoser
+  (:mod:`repro.diagnose`) runs on every point; a statically refuted
+  point must be infeasible on *every* backend, and every refutation's
+  witness must survive the independent replay verifier
+  (:func:`repro.diagnose.verify_refutation`).
 
 Any disagreement is shrunk (smaller TFG variants re-checked under the
 same seed) and written to a JSON reproducer file — see
@@ -37,7 +42,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.cache import ScheduleCache
 from repro.cache.store import error_to_entry, routing_to_entry
@@ -46,12 +51,20 @@ from repro.core.compiler import CompilerConfig, ScheduledRouting, compile_schedu
 from repro.core.executor import ScheduledRoutingExecutor
 from repro.cp import replay_schedule
 from repro.errors import ReproError, SchedulingError
-from repro.mapping.allocation import random_allocation
+from repro.mapping.allocation import Allocation, random_allocation
 from repro.solvers import have_scipy
 from repro.tfg.analysis import TFGTiming
 from repro.tfg.synth import random_layered_tfg
 from repro.topology import Mesh, Torus, binary_hypercube
 from repro.topology.base import Topology
+
+#: The materialized inputs of one fuzz point: (timing, topology,
+#: allocation, tau_in) as returned by :meth:`FuzzPoint.build`.
+PointInputs = tuple[TFGTiming, Topology, Allocation, float]
+
+#: One backend compilation: ``("feasible", routing)`` or
+#: ``("infeasible", error)``.
+CompileRun = tuple[str, "ScheduledRouting | SchedulingError"]
 
 #: Loads the seed grid draws tau_in from (tau_in = tau_c / load).
 _LOADS = (0.5, 0.75, 1.0)
@@ -105,7 +118,7 @@ class FuzzPoint:
             load=rng.choice(_LOADS),
         )
 
-    def build(self):
+    def build(self) -> "PointInputs":
         """Materialize (timing, topology, allocation, tau_in)."""
         tfg = random_layered_tfg(
             self.seed,
@@ -200,7 +213,11 @@ def _error_digest(error: SchedulingError) -> str:
     )
 
 
-def _compile(point_inputs, backend: str, cache: ScheduleCache | None = None):
+def _compile(
+    point_inputs: "PointInputs",
+    backend: str,
+    cache: ScheduleCache | None = None,
+) -> "CompileRun":
     """Compile one point; return ("feasible", routing) or ("infeasible", err)."""
     timing, topology, allocation, tau_in = point_inputs
     config = CompilerConfig(lp_backend=backend, **_CONFIG)
@@ -213,8 +230,13 @@ def _compile(point_inputs, backend: str, cache: ScheduleCache | None = None):
         return "infeasible", error
 
 
-def _verify_feasible(point: FuzzPoint, backend: str, inputs, routing,
-                     out: list[str]) -> None:
+def _verify_feasible(
+    point: FuzzPoint,
+    backend: str,
+    inputs: "PointInputs",
+    routing: ScheduledRouting,
+    out: list[str],
+) -> None:
     """Verifier differential: analyzer ≡ crossbar replay ≡ DES replay."""
     timing, topology, allocation, tau_in = inputs
     report = analyze_schedule(
@@ -244,8 +266,50 @@ def _verify_feasible(point: FuzzPoint, backend: str, inputs, routing,
         )
 
 
-def _check_cache(point: FuzzPoint, backend: str, inputs, fresh,
-                 cache_root: Path, out: list[str]) -> None:
+def _check_prescreen(
+    point: FuzzPoint,
+    inputs: "PointInputs",
+    verdicts: Mapping[str, str],
+    out: list[str],
+) -> None:
+    """Prescreen soundness: statically refuted ⇒ every backend infeasible.
+
+    The compilations deliberately run *without* the prescreen, so a
+    refuted point still exercises both LP backends; this differential
+    then demands (a) no backend found the point feasible and (b) every
+    refutation's witness survives the independent replay verifier.
+    """
+    from repro.diagnose import diagnose_instance, verify_refutation
+
+    timing, topology, allocation, tau_in = inputs
+    diagnosis = diagnose_instance(timing, topology, allocation, tau_in)
+    if not diagnosis.refuted:
+        return
+    feasible = sorted(b for b, v in verdicts.items() if v == "feasible")
+    if feasible:
+        out.append(
+            f"seed {point.seed}: prescreen UNSOUND — statically refuted "
+            f"({diagnosis.summary()}) yet feasible on: {', '.join(feasible)}"
+        )
+    for refutation in diagnosis.instance_refutations:
+        problems = verify_refutation(
+            timing, topology, allocation, tau_in, refutation
+        )
+        if problems:
+            out.append(
+                f"seed {point.seed}: refutation witness failed independent "
+                f"replay [{refutation.kind}]: " + "; ".join(problems)
+            )
+
+
+def _check_cache(
+    point: FuzzPoint,
+    backend: str,
+    inputs: "PointInputs",
+    fresh: "CompileRun",
+    cache_root: Path,
+    out: list[str],
+) -> None:
     """Cache differential: cold-store then warm-serve must equal fresh."""
     verdict, result = fresh
     cache_dir = cache_root / f"seed{point.seed}-{backend}"
@@ -295,6 +359,7 @@ def check_point(
     runs = {b: _compile(inputs, b) for b in backends}
     verdicts = {b: v for b, (v, _) in runs.items()}
     outcome.verdict = verdicts[backends[0]]
+    _check_prescreen(point, inputs, verdicts, outcome.disagreements)
     if len(set(verdicts.values())) > 1:
         outcome.disagreements.append(
             f"seed {point.seed}: backends disagree on feasibility: "

@@ -6,6 +6,7 @@ Runs a figure-style experiment from the shell::
     repro-sr pipeline --topology torus4x4x4 --bandwidth 128 --loads 0.5 1.0
     repro-sr compile --topology ghc444 --bandwidth 64 --load 0.5
     repro-sr matrix --jobs 4 --cache-dir ~/.cache/repro-schedules
+    repro-sr diagnose --topology hypercube6 --models 16 --load 1.0 --wr
     repro-sr faults --topology 6cube --fail-links 1 --seed 0
     repro-sr trace --mode sr --load 0.5 --out trace.json
     repro-sr check omega.json --topology hypercube6
@@ -210,9 +211,102 @@ def _cmd_matrix(args) -> int:
         jobs=args.jobs,
         cache=args.cache_dir,
         analyze=args.check,
+        prescreen=args.prescreen,
     )
     print(format_matrix_result(result))
     return 0
+
+
+def _cmd_diagnose(args) -> int:
+    import json
+
+    from repro.diagnose import analyze_wormhole, diagnose_instance
+
+    setup = _setup(args)
+    tau_in = setup.tau_in_for_load(args.load)
+    cache = None
+    if args.cache_dir is not None:
+        from repro.cache import ScheduleCache
+
+        cache = ScheduleCache(args.cache_dir)
+    diagnosis = diagnose_instance(
+        setup.timing, setup.topology, setup.allocation, tau_in, cache=cache
+    )
+    deep: list = []
+    if args.deep:
+        from repro.core.assign_paths import lsd_assignment
+        from repro.core.pipeline import routed_and_local_messages
+        from repro.core.timebounds import compute_time_bounds
+        from repro.solvers import get_backend
+
+        routed, _local = routed_and_local_messages(
+            setup.timing, setup.allocation
+        )
+        if routed and not diagnosis.refuted:
+            from repro.diagnose import explain_assignment
+
+            bounds = compute_time_bounds(setup.timing, tau_in, routed)
+            endpoints = {
+                m.name: (
+                    setup.allocation[m.src], setup.allocation[m.dst]
+                )
+                for m in setup.timing.tfg.messages
+                if m.name in set(routed)
+            }
+            assignment = lsd_assignment(setup.topology, endpoints)
+            deep = list(
+                explain_assignment(
+                    bounds, assignment, get_backend(args.lp_backend)
+                )
+            )
+    wr = None
+    if args.wr:
+        wr = analyze_wormhole(
+            setup.timing, setup.topology, setup.allocation, tau_in
+        )
+    if args.json:
+        payload = {
+            "instance": {
+                "topology": setup.topology.name,
+                "bandwidth": args.bandwidth,
+                "models": args.models,
+                "load": args.load,
+                "tau_in": tau_in,
+                "allocator": args.allocator,
+            },
+            "diagnosis": diagnosis.to_dict(),
+        }
+        if args.deep:
+            payload["deep"] = [r.to_dict() for r in deep]
+        if wr is not None:
+            payload["wormhole"] = wr.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if diagnosis.refuted else 0
+    print(
+        f"{setup.topology.name} @ B={args.bandwidth} bytes/us, "
+        f"load {args.load} (tau_in={tau_in:g}us)"
+    )
+    print(diagnosis.summary())
+    for refutation in diagnosis.refutations:
+        print(f"  {refutation.describe()}")
+    if args.deep:
+        if deep:
+            print(f"deep: {len(deep)} LP infeasibility certificate(s) "
+                  "for the LSD->MSD assignment")
+            for refutation in deep:
+                print(f"  {refutation.describe()}")
+        elif diagnosis.refuted:
+            print("deep: skipped (instance already statically refuted)")
+        else:
+            print("deep: allocation LP feasible for the LSD->MSD assignment")
+    if wr is not None:
+        print(
+            f"wormhole: {wr.routes_analyzed} route(s), "
+            f"deadlock-free={wr.deadlock_free}, oi-safe={wr.oi_safe}"
+        )
+        for finding in wr.findings:
+            print(f"  [{finding.kind}] {finding.detail}")
+    return 1 if diagnosis.refuted else 0
 
 
 def _cmd_check(args) -> int:
@@ -482,7 +576,45 @@ def main(argv: list[str] | None = None) -> int:
         help="run the conformance analyzer on every feasible point "
              "(flagged points show CHK instead of OK)",
     )
+    p_matrix.add_argument(
+        "--prescreen", action="store_true",
+        help="statically refute points before LP work (refuted points "
+             "show REF; feasible verdicts are unchanged)",
+    )
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="static instance diagnosis: infeasibility certificates "
+             "and wormhole hazards, no compilation",
+    )
+    _add_common(p_diag)
+    p_diag.add_argument("--load", type=float, default=0.5)
+    p_diag.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnosis as JSON instead of text",
+    )
+    p_diag.add_argument(
+        "--deep", action="store_true",
+        help="also extract Farkas LP certificates for the LSD->MSD "
+             "assignment when the instance is not statically refuted",
+    )
+    p_diag.add_argument(
+        "--wr", action="store_true",
+        help="also run the static wormhole analysis (CDG deadlock "
+             "cycles, OI prediction)",
+    )
+    p_diag.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory for diagnosis results",
+    )
+    p_diag.add_argument(
+        "--lp-backend",
+        choices=("auto", "highs", "highs-ds", "reference"),
+        default="auto",
+        help="LP solver backend used by --deep",
+    )
+    p_diag.set_defaults(func=_cmd_diagnose)
 
     p_check = sub.add_parser(
         "check",

@@ -24,6 +24,7 @@ from repro.core.interval_allocation import IntervalAllocation
 from repro.core.pipeline import (
     POST_ASSIGNMENT_STAGES,
     CompilationContext,
+    PrescreenStage,
     TimeBoundsStage,
     compile_stages,
     routed_and_local_messages,
@@ -83,6 +84,15 @@ class CompilerConfig:
         :func:`repro.solvers.get_backend`): ``"auto"`` (default —
         scipy's HiGHS when available, the pure-Python reference simplex
         otherwise), ``"highs"``, ``"highs-ds"`` or ``"reference"``.
+    prescreen:
+        When True, run the static instance diagnoser
+        (:mod:`repro.diagnose`) before any path assignment or LP work
+        and raise :class:`~repro.errors.StaticallyRefutedError` on
+        points no assignment could save.  Sound but incomplete: a
+        feasible instance is never refuted (enforced by the fuzz
+        corpus), but not every infeasible one is caught statically.
+        Off by default so error types seen by existing callers are
+        unchanged.
     """
 
     seed: int = 0
@@ -93,6 +103,7 @@ class CompilerConfig:
     feedback_rounds: int = 2
     sync_margin: float = 0.0
     lp_backend: str = "auto"
+    prescreen: bool = False
 
 
 @dataclass
@@ -179,6 +190,13 @@ def compile_schedule(
         topology=topology,
         allocation=allocation,
     )
+    if config.prescreen:
+        try:
+            PrescreenStage().run(context)
+        except SchedulingError as error:
+            if cache is not None:
+                cache.store_failure(key, error)
+            raise
     TimeBoundsStage().run(context)
 
     stages = compile_stages(config)

@@ -37,7 +37,49 @@ from repro.solvers import (
 )
 from repro.topology.base import Link
 
-__all__ = ["LP_TOL", "IntervalAllocation", "allocate_intervals"]
+__all__ = [
+    "LP_TOL",
+    "AllocationProblem",
+    "IntervalAllocation",
+    "allocate_intervals",
+    "build_allocation_problem",
+]
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """The allocation LP plus the labels of its rows and columns.
+
+    Shared between :func:`allocate_intervals` (which solves the
+    ``z``-scaled optimisation form) and the dual diagnoser of
+    :mod:`repro.diagnose.duals` (which probes the fixed-capacity
+    feasibility form and needs to know *which message* each equality
+    row and *which (link, interval)* each inequality row talks about in
+    order to translate a Farkas ray into a refutation).
+
+    Attributes
+    ----------
+    problem:
+        The standard-form LP.
+    variables:
+        Column labels: one ``(message, interval)`` pair per ``x``
+        column, in column order (the trailing ``z`` column of the
+        scaled form is not listed).
+    eq_messages:
+        Equality-row labels: the message whose duration each row sums.
+    ub_rows:
+        Inequality-row labels: ``("link", link, k)`` for paper
+        constraint (4) rows, ``("cap", None, k)`` for feedback-cap rows.
+    fixed_capacity:
+        True for the feasibility form (no ``z`` column, capacities at
+        their real interval lengths).
+    """
+
+    problem: LPProblem
+    variables: tuple[tuple[str, int], ...]
+    eq_messages: tuple[str, ...]
+    ub_rows: tuple[tuple[str, Link | None, int], ...]
+    fixed_capacity: bool
 
 
 @dataclass(frozen=True)
@@ -92,27 +134,78 @@ def allocate_intervals(
     (3)-(4) (plus any caps) cannot be met — the subset's messages demand
     more of some link-interval than it can carry.
     """
+    built = build_allocation_problem(
+        bounds, assignment, subset, interval_caps=interval_caps
+    )
+    if backend is None:
+        backend = get_backend()
+    solution = backend.solve(built.problem)
+    if not solution.success:
+        raise IntervalAllocationError(
+            subset_index, f"allocation LP failed: {solution.message}"
+        )
+    num_x = len(built.variables)
+    z = float(solution.x[num_x])
+    if exceeds_tolerance(z, 1.0):
+        raise IntervalAllocationError(
+            subset_index,
+            f"minimal worst link-interval load {z:.4f} exceeds 1 "
+            "(paper constraint (4))",
+        )
+    allocation = {
+        built.variables[i]: float(solution.x[i])
+        for i in range(num_x)
+        if solution.x[i] > LP_TOL
+    }
+    return IntervalAllocation(
+        subset=subset,
+        allocation=allocation,
+        load_factor=z,
+    )
+
+
+def build_allocation_problem(
+    bounds: TimeBoundSet,
+    assignment: PathAssignment,
+    subset: tuple[str, ...],
+    interval_caps: dict[int, float] | None = None,
+    fixed_capacity: bool = False,
+) -> AllocationProblem:
+    """Assemble the allocation LP for one maximal subset.
+
+    With ``fixed_capacity=False`` (the compiler's form) the per-
+    (link, interval) capacities are scaled by a trailing load-factor
+    variable ``z`` which the objective minimises.  With
+    ``fixed_capacity=True`` (the diagnoser's form) there is no ``z``:
+    constraint (4) uses the real interval lengths and the LP is a pure
+    feasibility probe, which is what Farkas-certificate extraction
+    wants — an infeasible ray then combines *actual* capacities, not
+    scaled ones.
+    """
     lengths = bounds.intervals.lengths
-    # Variable layout: one x per (message, active interval), then z.
+    # Variable layout: one x per (message, active interval) [, then z].
     variables: list[tuple[str, int]] = []
     for name in subset:
         for k in bounds.active_intervals(name):
             variables.append((name, k))
     var_index = {v: i for i, v in enumerate(variables)}
     num_x = len(variables)
+    num_cols = num_x if fixed_capacity else num_x + 1
     z_index = num_x
 
     # Equality (3): per message, allocations sum to its duration.
-    a_eq = np.zeros((len(subset), num_x + 1))
+    a_eq = np.zeros((len(subset), num_cols))
     b_eq = np.zeros(len(subset))
     for row, name in enumerate(subset):
         for k in bounds.active_intervals(name):
             a_eq[row, var_index[(name, k)]] = 1.0
         b_eq[row] = bounds.bounds[name].duration
 
-    # Inequality (4), scaled by z: per (link, interval),
-    # sum of allocations - z * |A_k| <= 0.
+    # Inequality (4): per (link, interval), sum of allocations bounded
+    # by the interval length (scaled by z in the compiler's form).
     rows: list[np.ndarray] = []
+    b_rows: list[float] = []
+    row_labels: list[tuple[str, Link | None, int]] = []
     links_seen: dict[tuple[Link, int], list[int]] = {}
     for name in subset:
         for link in assignment.links(name):
@@ -121,11 +214,15 @@ def allocate_intervals(
                     var_index[(name, k)]
                 )
     for (link, k), columns in links_seen.items():
-        row = np.zeros(num_x + 1)
+        row = np.zeros(num_cols)
         row[columns] = 1.0
-        row[z_index] = -lengths[k]
+        if fixed_capacity:
+            b_rows.append(lengths[k])
+        else:
+            row[z_index] = -lengths[k]
+            b_rows.append(0.0)
         rows.append(row)
-    b_rows = [0.0] * len(rows)
+        row_labels.append(("link", link, k))
     # Feedback caps: total subset allocation into interval k <= cap.
     for k, cap in (interval_caps or {}).items():
         columns = [
@@ -135,49 +232,34 @@ def allocate_intervals(
         ]
         if not columns:
             continue
-        row = np.zeros(num_x + 1)
+        row = np.zeros(num_cols)
         row[columns] = 1.0
         rows.append(row)
         b_rows.append(max(cap, 0.0))
+        row_labels.append(("cap", None, k))
     a_ub = np.vstack(rows) if rows else None
     b_ub = np.asarray(b_rows) if rows else None
 
-    # Objective: minimise z.  x bounded by interval lengths (a message
-    # cannot transmit longer than the interval it sits in).
-    c = np.zeros(num_x + 1)
-    c[z_index] = 1.0
-    x_bounds = [(0.0, lengths[k]) for (_, k) in variables] + [(0.0, None)]
+    # Objective: minimise z (constant in the feasibility form).  x is
+    # bounded by interval lengths (a message cannot transmit longer
+    # than the interval it sits in).
+    c = np.zeros(num_cols)
+    x_bounds = [(0.0, lengths[k]) for (_, k) in variables]
+    if not fixed_capacity:
+        c[z_index] = 1.0
+        x_bounds.append((0.0, None))
 
-    if backend is None:
-        backend = get_backend()
-    solution = backend.solve(
-        LPProblem(
+    return AllocationProblem(
+        problem=LPProblem(
             c=c,
             a_ub=a_ub,
             b_ub=b_ub,
             a_eq=a_eq,
             b_eq=b_eq,
             bounds=x_bounds,
-        )
-    )
-    if not solution.success:
-        raise IntervalAllocationError(
-            subset_index, f"allocation LP failed: {solution.message}"
-        )
-    z = float(solution.x[z_index])
-    if exceeds_tolerance(z, 1.0):
-        raise IntervalAllocationError(
-            subset_index,
-            f"minimal worst link-interval load {z:.4f} exceeds 1 "
-            "(paper constraint (4))",
-        )
-    allocation = {
-        variables[i]: float(solution.x[i])
-        for i in range(num_x)
-        if solution.x[i] > LP_TOL
-    }
-    return IntervalAllocation(
-        subset=subset,
-        allocation=allocation,
-        load_factor=z,
+        ),
+        variables=tuple(variables),
+        eq_messages=tuple(subset),
+        ub_rows=tuple(row_labels),
+        fixed_capacity=fixed_capacity,
     )

@@ -28,17 +28,111 @@ cheaply.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.core.assignment import PathAssignment
-from repro.core.timebounds import TimeBoundSet
+from repro.core.timebounds import MessageTimeBounds, TimeBoundSet
 from repro.topology.base import Link
 from repro.units import EPS
 
 #: Witness kinds for the peak position.
 KIND_LINK = "link"
 KIND_SPOT = "spot"
+
+
+def window_demand(bound: MessageTimeBounds, active_length_within: float) -> float:
+    """Transmission time that cannot be moved outside a sub-window.
+
+    Given the total active length of a message's windows that falls
+    *inside* some region of the frame, the message must transmit at
+    least ``duration - (active_length - within)`` time units there —
+    its other windows simply cannot absorb more.  This is the single
+    arithmetic fact behind both the sharpened spot utilisation
+    (:class:`UtilizationState`) and every Hall-type window-density
+    certificate in :mod:`repro.diagnose`.
+    """
+    return max(0.0, bound.duration - (bound.active_length - active_length_within))
+
+
+def forced_load_matrix(bounds: TimeBoundSet) -> np.ndarray:
+    """``forced[i, k]``: load message ``i`` cannot move out of interval ``k``.
+
+    Vectorised :func:`window_demand` over every (message, interval) pair,
+    zeroed where the message is inactive.  Shared by the incremental
+    :class:`UtilizationState` and the static per-link reports of
+    :func:`link_loads` so the two layers can never disagree on what
+    "forced" means.
+    """
+    lengths = np.asarray(bounds.intervals.lengths)
+    durations = np.array([bounds.bounds[m].duration for m in bounds.order])
+    active_lengths = bounds.activity @ lengths
+    forced = np.maximum(
+        0.0,
+        durations[:, None] - (active_lengths[:, None] - lengths[None, :]),
+    )
+    forced[~bounds.activity] = 0.0
+    return forced
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Static utilisation summary of one link under a message→links map."""
+
+    link: Link
+    messages: tuple[str, ...]
+    total_time: float       # summed transmission durations
+    window_time: float      # union length of the messages' active intervals
+    spot_ratios: tuple[float, ...]  # forced load / interval length, per interval
+
+    @property
+    def utilization(self) -> float:
+        """``U_j`` per Definition 5.1 (0 for an unloaded link)."""
+        if self.window_time <= EPS:
+            return 0.0
+        return self.total_time / self.window_time
+
+    @property
+    def max_spot(self) -> float:
+        """Sharpened ``U_jk`` maximised over intervals."""
+        return max(self.spot_ratios, default=0.0)
+
+
+def link_loads(
+    bounds: TimeBoundSet,
+    message_links: Mapping[str, Iterable[Link]],
+) -> dict[Link, LinkLoad]:
+    """Per-link utilisation of an arbitrary ``message → links`` mapping.
+
+    The mapping need not be a full path assignment — the static
+    diagnoser feeds it the *forced* links only — but the arithmetic
+    (durations, activity windows, forced loads) is identical to what
+    :class:`UtilizationState` maintains incrementally, via the shared
+    :func:`forced_load_matrix`.
+    """
+    forced = forced_load_matrix(bounds)
+    lengths = np.asarray(bounds.intervals.lengths)
+    activity = bounds.activity
+    per_link: dict[Link, list[int]] = {}
+    for name, links in message_links.items():
+        for link in links:
+            per_link.setdefault(link, []).append(bounds.index[name])
+    loads: dict[Link, LinkLoad] = {}
+    for link, rows in sorted(per_link.items()):
+        names = tuple(bounds.order[i] for i in rows)
+        total = float(sum(bounds.bounds[n].duration for n in names))
+        any_active = activity[rows].any(axis=0)
+        window = float(lengths[any_active].sum())
+        spot = forced[rows].sum(axis=0) / lengths
+        loads[link] = LinkLoad(
+            link=link,
+            messages=names,
+            total_time=total,
+            window_time=window,
+            spot_ratios=tuple(float(s) for s in spot),
+        )
+    return loads
 
 
 @dataclass(frozen=True)
@@ -82,12 +176,7 @@ class UtilizationState:
         # forced[i, k]: transmission time message i cannot move out of
         # interval k (its duration minus the capacity of its other active
         # intervals); zero when inactive in k.
-        active_lengths = bounds.activity @ self.lengths
-        self.forced = np.maximum(
-            0.0,
-            self.durations[:, None] - (active_lengths[:, None] - self.lengths[None, :]),
-        )
-        self.forced[~bounds.activity] = 0.0
+        self.forced = forced_load_matrix(bounds)
         # Per-link state.  window_time and spot_max are incremental
         # caches: recomputing them from the (L x K) matrices on every
         # candidate-reroute evaluation dominated AssignPaths' cost on

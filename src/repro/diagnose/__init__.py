@@ -1,0 +1,58 @@
+"""Static instance diagnosis: refute or explain before solving.
+
+``repro.diagnose`` analyses problem *instances* — (TFG timing,
+topology, allocation, tau_in) points — where :mod:`repro.check`
+analyses compiled *schedules*.  Three layers:
+
+1. :func:`diagnose_instance` — solver-free necessary-condition
+   certificates (window/period violations, disconnection, forced-link
+   utilisation and Hall window-density bounds, cut and network
+   capacity).  An instance-scoped :class:`Refutation` proves **no**
+   path assignment can work; the compiler's prescreen stage
+   (``CompilerConfig.prescreen``) acts on exactly these.
+2. :func:`explain_assignment` / :func:`explain_allocation_failure` —
+   verified Farkas certificates extracted from the interval-allocation
+   LP, naming the conflicting duration equations and link-capacity
+   rows for one concrete assignment.
+3. :func:`analyze_wormhole` — static wormhole-routing hazards: channel-
+   dependency-graph deadlock cycles (Dally-Seitz) and first-order
+   output-inconsistency prediction, no simulation needed.
+
+See ``docs/diagnosis.md`` for the certificate taxonomy and CLI usage.
+"""
+
+from repro.diagnose.certificates import (
+    REFUTE_MARGIN,
+    SCOPE_ASSIGNMENT,
+    SCOPE_INSTANCE,
+    Diagnosis,
+    Refutation,
+)
+from repro.diagnose.duals import explain_allocation_failure, explain_assignment
+from repro.diagnose.instance import diagnose_instance, forced_links
+from repro.diagnose.verify import verify_refutation
+from repro.diagnose.wormhole import (
+    WrFinding,
+    WrReport,
+    analyze_wormhole,
+    channel_dependency_graph,
+    find_dependency_cycle,
+)
+
+__all__ = [
+    "Diagnosis",
+    "REFUTE_MARGIN",
+    "Refutation",
+    "SCOPE_ASSIGNMENT",
+    "SCOPE_INSTANCE",
+    "WrFinding",
+    "WrReport",
+    "analyze_wormhole",
+    "channel_dependency_graph",
+    "diagnose_instance",
+    "explain_allocation_failure",
+    "explain_assignment",
+    "find_dependency_cycle",
+    "forced_links",
+    "verify_refutation",
+]

@@ -17,13 +17,19 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.cache import ScheduleCache
 from repro.core.compiler import CompilerConfig, compile_schedule
-from repro.core.pipeline import CHECK_FLAGGED, OK, STAGE_VERDICT_CODES, verdict_code
+from repro.core.pipeline import (
+    CHECK_FLAGGED,
+    OK,
+    STAGE_VERDICT_CODES,
+    STATICALLY_REFUTED,
+    verdict_code,
+)
 from repro.errors import SchedulingError
 from repro.experiments.setup import standard_setup
 from repro.tfg.graph import TaskFlowGraph
@@ -67,6 +73,7 @@ class MatrixResult:
     elapsed_s: float
     jobs: int
     cache_stats: dict[str, float | int] | None = None
+    prescreen: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -74,6 +81,27 @@ class MatrixResult:
             return 0.0
         lookups = self.cache_stats["hits"] + self.cache_stats["misses"]
         return self.cache_stats["hits"] / lookups if lookups else 0.0
+
+    @property
+    def statically_refuted(self) -> int:
+        """Points the prescreen refuted before any LP work ran."""
+        return sum(
+            1
+            for row in self.rows
+            for v in row.verdicts
+            if v == STATICALLY_REFUTED
+        )
+
+    @property
+    def lp_refuted(self) -> int:
+        """Infeasible points that needed the compiler's LP stages."""
+        skip = (OK, CHECK_FLAGGED, STATICALLY_REFUTED)
+        return sum(
+            1
+            for row in self.rows
+            for v in row.verdicts
+            if v not in skip
+        )
 
 
 def _compile_point(
@@ -147,6 +175,7 @@ def run_feasibility_matrix(
     jobs: int = 1,
     cache: ScheduleCache | str | Path | None = None,
     analyze: bool = False,
+    prescreen: bool = False,
 ) -> MatrixResult:
     """Compile the workload at every (topology, bandwidth, load) point.
 
@@ -160,6 +189,13 @@ def run_feasibility_matrix(
         Run every feasible schedule through the independent conformance
         analyzer (:mod:`repro.check`); flagged points report the
         ``CHK`` verdict instead of ``OK``.
+    prescreen:
+        Run the static instance diagnoser (:mod:`repro.diagnose`)
+        before each compilation; statically refuted points report the
+        ``REF`` verdict without any path-assignment or LP work.
+        Feasible points are never affected (the prescreen is sound), so
+        the matrix's ``OK``/``CHK`` cells are identical with and
+        without it.
     jobs:
         Number of worker processes.  ``1`` (default) compiles serially
         in-process; ``N > 1`` fans the points out over a
@@ -173,6 +209,8 @@ def run_feasibility_matrix(
         (serial runs only).
     """
     config = config or CompilerConfig()
+    if prescreen:
+        config = replace(config, prescreen=True)
     began = time.perf_counter()
 
     placements: dict[str, Mapping[str, int] | None] = {}
@@ -246,6 +284,7 @@ def run_feasibility_matrix(
         elapsed_s=time.perf_counter() - began,
         jobs=jobs,
         cache_stats=cache_stats,
+        prescreen=config.prescreen,
     )
 
 
@@ -295,4 +334,10 @@ def format_matrix_result(result: MatrixResult) -> str:
             f"(hit rate {result.hit_rate:.1%})"
         )
     lines.append(run)
+    if result.prescreen:
+        lines.append(
+            f"prescreen: {result.statically_refuted} point(s) refuted "
+            f"statically (REF), {result.lp_refuted} by the compiler's "
+            "LP stages"
+        )
     return "\n".join(lines)

@@ -42,10 +42,15 @@ from repro.solvers.base import (
     TalliedBackend,
     exceeds_tolerance,
 )
+from repro.solvers.certificates import (
+    FarkasCertificate,
+    infeasibility_certificate,
+)
 from repro.solvers.reference import ReferenceSimplexBackend
 from repro.solvers.scipy_backend import SCIPY_METHODS, ScipyLinprogBackend
 
 __all__ = [
+    "FarkasCertificate",
     "LP_TOL",
     "LPBackend",
     "LPProblem",
@@ -60,6 +65,7 @@ __all__ = [
     "exceeds_tolerance",
     "get_backend",
     "have_scipy",
+    "infeasibility_certificate",
 ]
 
 #: Names accepted by :func:`get_backend`.

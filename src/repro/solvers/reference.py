@@ -50,7 +50,9 @@ _FEAS_TOL = 1e-7
 class _Tableau:
     """Canonical-form tableau with an incrementally maintained cost row."""
 
-    def __init__(self, rows: np.ndarray, rhs: np.ndarray, basis: list[int]):
+    def __init__(
+        self, rows: np.ndarray, rhs: np.ndarray, basis: list[int]
+    ) -> None:
         self.rows = rows
         self.rhs = rhs
         self.basis = basis

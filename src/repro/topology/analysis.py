@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.topology.base import Topology
+from repro.topology.base import Link, Topology
 
 
 @dataclass(frozen=True)
@@ -55,25 +55,37 @@ def average_distance(topology: Topology) -> float:
     return total / (n * (n - 1))
 
 
-def bisection_width(topology: Topology) -> int:
-    """Links crossing the canonical half-split of the node set.
+def canonical_bisection(topology: Topology) -> tuple[frozenset[int], tuple[Link, ...]]:
+    """The canonical half-split: (upper-side node set, crossing links).
 
     The split fixes the most significant address digit below/at-or-above
     half its radix — the textbook bisection for GHCs, tori and meshes
-    (exact when the top radix is even; a floor split otherwise).
+    (exact when the top radix is even; a floor split otherwise).  The
+    crossing-link set is what the static diagnoser's cut-capacity bound
+    consumes; :func:`bisection_width` is its cardinality.
     """
     top_radix = topology.radices[-1]
     threshold = top_radix // 2
+    upper = frozenset(
+        node
+        for node in range(topology.num_nodes)
+        if topology.address(node)[-1] >= threshold
+    )
+    crossing = tuple(
+        sorted(
+            (u, v)
+            for u in range(topology.num_nodes)
+            for v in topology.neighbors(u)
+            if u < v and ((u in upper) != (v in upper))
+        )
+    )
+    return upper, crossing
 
-    def side(node: int) -> bool:
-        return topology.address(node)[-1] >= threshold
 
-    crossing = 0
-    for u in range(topology.num_nodes):
-        for v in topology.neighbors(u):
-            if u < v and side(u) != side(v):
-                crossing += 1
-    return crossing
+def bisection_width(topology: Topology) -> int:
+    """Links crossing the canonical half-split of the node set."""
+    _, crossing = canonical_bisection(topology)
+    return len(crossing)
 
 
 def summarize(topology: Topology) -> TopologySummary:

@@ -57,6 +57,12 @@ Event taxonomy (``category`` values)
     (:meth:`repro.check.analyzer.ConformanceReport.emit`): one instant
     per finding at the start of its offending time range, on a
     ``check:<code>`` track, with severity / message / link in ``args``.
+``diagnose``
+    Static instance-diagnosis refutations
+    (:meth:`repro.diagnose.Diagnosis.emit`): one instant per
+    certificate at the start of its witness window, on a
+    ``diagnose:<kind>`` track, with demand / capacity / links /
+    messages in ``args``.
 """
 
 from __future__ import annotations

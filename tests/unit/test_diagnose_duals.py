@@ -1,0 +1,105 @@
+"""Layer-2 dual certificates (repro.diagnose.duals) on both LP backends."""
+
+import pytest
+
+from repro.core.assignment import PathAssignment
+from repro.core.timebounds import compute_time_bounds
+from repro.diagnose import (
+    SCOPE_ASSIGNMENT,
+    Refutation,
+    explain_allocation_failure,
+    explain_assignment,
+)
+from repro.solvers import available_backends, get_backend
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+
+BACKENDS = available_backends()
+
+
+def pinned_case(cube3, sizes, tau_in=100.0):
+    """N messages pinned to link (1, 3), all in the same time window."""
+    n = len(sizes)
+    tfg = build_tfg(
+        "pin",
+        [(f"s{i}", 400) for i in range(n)] + [(f"d{i}", 400) for i in range(n)],
+        [(f"m{i}", f"s{i}", f"d{i}", sizes[i]) for i in range(n)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    bounds = compute_time_bounds(timing, tau_in=tau_in)
+    endpoints = {f"m{i}": (1, 3) for i in range(n)}
+    paths = {f"m{i}": [1, 3] for i in range(n)}
+    assignment = PathAssignment(cube3, endpoints, paths)
+    return bounds, assignment
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestExplainAllocationFailure:
+    def test_overloaded_subset_yields_certificate(self, backend_name, cube3):
+        bounds, assignment = pinned_case(cube3, [1280, 1280])
+        refutation = explain_allocation_failure(
+            bounds, assignment, ("m0", "m1"),
+            backend=get_backend(backend_name),
+        )
+        assert isinstance(refutation, Refutation)
+        assert refutation.kind == "lp-farkas"
+        assert refutation.scope == SCOPE_ASSIGNMENT
+        assert set(refutation.messages) <= {"m0", "m1"}
+        assert (1, 3) in refutation.links
+        assert refutation.demand > refutation.capacity
+
+    def test_feasible_subset_yields_none(self, backend_name, cube3):
+        bounds, assignment = pinned_case(cube3, [320, 320])
+        assert (
+            explain_allocation_failure(
+                bounds, assignment, ("m0", "m1"),
+                backend=get_backend(backend_name),
+            )
+            is None
+        )
+
+    def test_refutation_serializes(self, backend_name, cube3):
+        bounds, assignment = pinned_case(cube3, [1280, 1280])
+        refutation = explain_allocation_failure(
+            bounds, assignment, ("m0", "m1"),
+            backend=get_backend(backend_name),
+        )
+        clone = Refutation.from_dict(refutation.to_dict())
+        assert clone == refutation
+        assert "lp-farkas" in refutation.describe()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestExplainAssignment:
+    def test_finds_the_unallocatable_subset(self, backend_name, cube3):
+        bounds, assignment = pinned_case(cube3, [1280, 1280])
+        refutations = explain_assignment(
+            bounds, assignment, backend=get_backend(backend_name)
+        )
+        assert refutations
+        assert all(r.kind == "lp-farkas" for r in refutations)
+
+    def test_empty_on_allocatable_assignment(self, backend_name, cube3):
+        bounds, assignment = pinned_case(cube3, [320, 320])
+        assert (
+            explain_assignment(
+                bounds, assignment, backend=get_backend(backend_name)
+            )
+            == ()
+        )
+
+
+def test_backends_agree_on_certifiability(cube3):
+    """Both backends must certify the same subsets (the rays may differ)."""
+    if len(BACKENDS) < 2:
+        pytest.skip("only one backend available")
+    bounds, assignment = pinned_case(cube3, [1280, 640, 640])
+    verdicts = {
+        name: explain_allocation_failure(
+            bounds, assignment, ("m0", "m1", "m2"),
+            backend=get_backend(name),
+        )
+        is not None
+        for name in BACKENDS
+    }
+    assert len(set(verdicts.values())) == 1

@@ -1,0 +1,210 @@
+"""Layer-1 static certificates (repro.diagnose.instance) and their replay."""
+
+import pytest
+
+from repro.cache import ScheduleCache, diagnosis_cache_key
+from repro.cache.store import entry_to_error, error_to_entry
+from repro.core.compiler import compile_schedule
+from repro.diagnose import (
+    SCOPE_INSTANCE,
+    Diagnosis,
+    diagnose_instance,
+    forced_links,
+    verify_refutation,
+)
+from repro.errors import SchedulingError, StaticallyRefutedError
+from repro.experiments import standard_setup
+from repro.tfg import TFGTiming, dvb_tfg
+from repro.tfg.graph import build_tfg
+
+
+@pytest.fixture(scope="module")
+def refuted_instance(cube6):
+    """16 DVB models at full load on the 6-cube: cut-overloaded."""
+    setup = standard_setup(dvb_tfg(16), cube6, bandwidth=64.0)
+    return setup.timing, setup.topology, setup.allocation, setup.tau_in_for_load(1.0)
+
+
+def two_on_one_link(cube3, sizes, tau_in=100.0):
+    """Distance-1 messages whose only minimal path is one shared link."""
+    n = len(sizes)
+    tfg = build_tfg(
+        "pin",
+        [(f"s{i}", 400) for i in range(n)] + [(f"d{i}", 400) for i in range(n)],
+        [(f"m{i}", f"s{i}", f"d{i}", sizes[i]) for i in range(n)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    # Every source on node 1, every sink on node 3 - link (1,3) is the
+    # unique minimal path for all of them.
+    allocation = {}
+    for i in range(n):
+        allocation[f"s{i}"] = 1
+        allocation[f"d{i}"] = 3
+    return timing, cube3, allocation, tau_in
+
+
+class TestTrivialCertificates:
+    def test_period_below_tau_c(self, dvb_setup_128):
+        s = dvb_setup_128
+        diagnosis = diagnose_instance(
+            s.timing, s.topology, s.allocation, 0.5 * s.tau_c
+        )
+        assert diagnosis.refuted
+        assert {r.kind for r in diagnosis.refutations} >= {"period"}
+
+    def test_window_exceeds_period(self, tiny_timing, cube3):
+        allocation = {"t0": 0, "t1": 1, "t2": 3}
+        tau_in = 0.5 * tiny_timing.message_window + 1e-9
+        # Keep tau_in >= tau_c irrelevant here: window check fires first
+        # when the window cannot fit the frame.
+        diagnosis = diagnose_instance(tiny_timing, cube3, allocation, tau_in)
+        assert diagnosis.refuted
+        kinds = {r.kind for r in diagnosis.refutations}
+        assert kinds & {"window", "period"}
+
+    def test_sync_margin_overflows_window(self, tiny_timing, cube3):
+        allocation = {"t0": 0, "t1": 1, "t2": 3}
+        tau_in = 10 * tiny_timing.tau_c
+        margin = tiny_timing.message_window  # duration + margin > window
+        diagnosis = diagnose_instance(
+            tiny_timing, cube3, allocation, tau_in, sync_margin=margin
+        )
+        assert diagnosis.refuted
+        assert "window" in {r.kind for r in diagnosis.refutations}
+
+
+class TestOverloadCertificates:
+    def test_forced_link_overload(self, cube3):
+        timing, topo, allocation, tau_in = two_on_one_link(
+            cube3, [1280, 1280]
+        )
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        assert diagnosis.refuted
+        kinds = {r.kind for r in diagnosis.instance_refutations}
+        assert kinds & {"link-overload", "window-density"}
+        witness = next(
+            r
+            for r in diagnosis.instance_refutations
+            if r.kind in ("link-overload", "window-density")
+        )
+        assert (1, 3) in witness.links
+        assert witness.demand > witness.capacity
+
+    def test_cut_overload_on_full_load_dvb16(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        assert diagnosis.refuted
+        assert "cut-overload" in {r.kind for r in diagnosis.refutations}
+
+    def test_feasible_point_not_refuted(self, dvb_setup_128):
+        s = dvb_setup_128
+        diagnosis = diagnose_instance(
+            s.timing, s.topology, s.allocation, s.tau_in_for_load(0.5)
+        )
+        assert not diagnosis.refuted
+        assert diagnosis.checks  # the checks ran and were recorded
+
+    def test_single_message_fits(self, cube3):
+        timing, topo, allocation, tau_in = two_on_one_link(cube3, [1280])
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        assert not diagnosis.refuted
+
+
+class TestSoundness:
+    def test_refuted_instances_fail_to_compile(self, cube3):
+        timing, topo, allocation, tau_in = two_on_one_link(
+            cube3, [1280, 1280]
+        )
+        with pytest.raises(SchedulingError):
+            compile_schedule(timing, topo, allocation, tau_in)
+
+    def test_every_witness_survives_independent_replay(
+        self, refuted_instance, cube3
+    ):
+        cases = [
+            refuted_instance,
+            two_on_one_link(cube3, [1280, 1280]),
+        ]
+        for timing, topo, allocation, tau_in in cases:
+            diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+            assert diagnosis.refuted
+            for refutation in diagnosis.instance_refutations:
+                problems = verify_refutation(
+                    timing, topo, allocation, tau_in, refutation
+                )
+                assert problems == []
+
+    def test_instance_refutations_are_instance_scoped(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        for refutation in diagnosis.instance_refutations:
+            assert refutation.scope == SCOPE_INSTANCE
+
+
+class TestForcedLinks:
+    def test_adjacent_pair_forced(self, cube3):
+        assert forced_links(cube3, 1, 3) == ((1, 3),)
+
+    def test_multi_path_pair_unforced(self, cube3):
+        # 0 -> 3 has two minimal paths on the 3-cube; nothing is forced.
+        assert forced_links(cube3, 0, 3) == ()
+
+
+class TestSerialization:
+    def test_diagnosis_round_trips(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        clone = Diagnosis.from_dict(diagnosis.to_dict())
+        assert clone.refuted == diagnosis.refuted
+        assert clone.refutations == diagnosis.refutations
+        assert clone.tau_in == diagnosis.tau_in
+
+    def test_statically_refuted_error_round_trips(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        diagnosis = diagnose_instance(timing, topo, allocation, tau_in)
+        error = StaticallyRefutedError(
+            [r.to_dict() for r in diagnosis.instance_refutations]
+        )
+        entry = error_to_entry(error)
+        rebuilt = entry_to_error(entry)
+        assert isinstance(rebuilt, StaticallyRefutedError)
+        assert rebuilt.refutations == error.refutations
+        assert str(rebuilt) == str(error)
+
+
+class TestCaching:
+    def test_diagnosis_cache_round_trip(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        cache = ScheduleCache()
+        first = diagnose_instance(
+            timing, topo, allocation, tau_in, cache=cache
+        )
+        assert cache.stats.stores == 1
+        second = diagnose_instance(
+            timing, topo, allocation, tau_in, cache=cache
+        )
+        assert cache.stats.hits == 1
+        assert second.refutations == first.refutations
+
+    def test_key_independent_of_config_but_not_of_instance(
+        self, refuted_instance, dvb_setup_128
+    ):
+        timing, topo, allocation, tau_in = refuted_instance
+        key = diagnosis_cache_key(timing, topo, allocation, tau_in)
+        assert key == diagnosis_cache_key(timing, topo, allocation, tau_in)
+        assert key != diagnosis_cache_key(
+            timing, topo, allocation, tau_in * 2
+        )
+        s = dvb_setup_128
+        assert key != diagnosis_cache_key(
+            s.timing, s.topology, s.allocation, tau_in
+        )
+
+    def test_diagnosis_entry_never_replays_as_schedule(self, refuted_instance):
+        timing, topo, allocation, tau_in = refuted_instance
+        cache = ScheduleCache()
+        key = diagnosis_cache_key(timing, topo, allocation, tau_in)
+        diagnose_instance(timing, topo, allocation, tau_in, cache=cache)
+        # Fetching the diagnosis key through the schedule interface is a
+        # miss, not a crash or a bogus schedule.
+        assert cache.fetch(key, topology=topo) is None

@@ -1,0 +1,132 @@
+"""Layer-3 static wormhole analysis (repro.diagnose.wormhole).
+
+The OI predictor is validated against the discrete-event wormhole
+simulator on the paper's Section 3 claim witness: same instance, same
+period — the static analysis must predict the risk the simulator
+realizes, and predict safety where the simulator sees none.
+"""
+
+import pytest
+
+from repro.diagnose import (
+    analyze_wormhole,
+    channel_dependency_graph,
+    find_dependency_cycle,
+)
+from repro.tfg import TFGTiming
+from repro.tfg.graph import build_tfg
+from repro.wormhole import WormholeSimulator
+
+
+@pytest.fixture()
+def claim_case(cube3):
+    """The Section 3 OI witness: chain t0->t1->t2 with a shared link."""
+    tfg = build_tfg(
+        "claim3",
+        [("t0", 400), ("t1", 400), ("t2", 400)],
+        [("M1", "t0", "t1", 1280), ("M2", "t1", "t2", 1280)],
+    )
+    timing = TFGTiming(tfg, 128.0, speeds=40.0)
+    allocation = {"t0": 0, "t1": 3, "t2": 1}
+    return timing, cube3, allocation
+
+
+class TestDependencyGraph:
+    def test_consecutive_hops_become_edges(self):
+        graph = channel_dependency_graph([[0, 1, 3]])
+        assert (1, 3) in graph[(0, 1)]
+        assert graph.get((1, 3), frozenset()) == frozenset()
+
+    def test_hand_built_cycle_found(self):
+        graph = {
+            (0, 1): frozenset({(1, 2)}),
+            (1, 2): frozenset({(2, 0)}),
+            (2, 0): frozenset({(0, 1)}),
+        }
+        cycle = find_dependency_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) <= set(graph)
+
+    def test_acyclic_graph_has_no_cycle(self):
+        graph = {
+            (0, 1): frozenset({(1, 2)}),
+            (1, 2): frozenset(),
+        }
+        assert find_dependency_cycle(graph) is None
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize(
+        "fixture", ["cube3", "cube6", "ghc444", "mesh44"]
+    )
+    def test_dimension_order_acyclic_on_hypercubes_and_meshes(
+        self, fixture, request, claim_case
+    ):
+        timing, _, allocation = claim_case
+        topology = request.getfixturevalue(fixture)
+        report = analyze_wormhole(
+            timing, topology, allocation, tau_in=60.0, all_pairs=True
+        )
+        assert report.deadlock_free
+        assert report.routes_analyzed == (
+            topology.num_nodes * (topology.num_nodes - 1)
+        )
+
+    def test_torus_wrap_links_close_a_cycle(self, torus44, claim_case):
+        timing, _, allocation = claim_case
+        report = analyze_wormhole(
+            timing, torus44, allocation, tau_in=60.0, all_pairs=True
+        )
+        assert not report.deadlock_free
+        witness = next(
+            f for f in report.findings if f.kind == "cdg-cycle"
+        )
+        channels = witness.channels
+        assert len(channels) >= 3
+        # The witness is a closed walk: consecutive channels chain
+        # head-to-tail and the last feeds the first.
+        for a, b in zip(channels, channels[1:] + channels[:1]):
+            assert a[1] == b[0]
+
+    def test_instance_routes_on_torus_may_still_be_safe(
+        self, torus44, claim_case
+    ):
+        """Cycle freedom of *these* routes, not of the router: a two-
+        message instance cannot close a ring by itself."""
+        timing, _, allocation = claim_case
+        report = analyze_wormhole(timing, torus44, allocation, tau_in=60.0)
+        assert report.deadlock_free
+
+
+class TestOiPrediction:
+    def test_predicts_oi_where_the_simulator_shows_it(self, claim_case):
+        timing, topo, allocation = claim_case
+        report = analyze_wormhole(timing, topo, allocation, tau_in=12.0)
+        assert not report.oi_safe
+        risky = {
+            m for f in report.findings if f.kind == "oi-risk"
+            for m in f.messages
+        }
+        assert risky & {"M1", "M2"}
+        result = WormholeSimulator(timing, topo, allocation).run(
+            tau_in=12.0, invocations=40, warmup=8
+        )
+        assert result.has_oi()
+
+    def test_predicts_safety_at_a_long_period(self, claim_case):
+        timing, topo, allocation = claim_case
+        report = analyze_wormhole(timing, topo, allocation, tau_in=60.0)
+        assert report.oi_safe
+        result = WormholeSimulator(timing, topo, allocation).run(
+            tau_in=60.0, invocations=20, warmup=4
+        )
+        assert not result.has_oi()
+
+    def test_report_serializes(self, claim_case):
+        timing, topo, allocation = claim_case
+        report = analyze_wormhole(timing, topo, allocation, tau_in=12.0)
+        payload = report.to_dict()
+        assert payload["oi_safe"] is False
+        assert payload["deadlock_free"] is True
+        assert payload["routes_analyzed"] == report.routes_analyzed
+        assert len(payload["findings"]) == len(report.findings)

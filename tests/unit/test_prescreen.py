@@ -1,0 +1,188 @@
+"""The prescreen compiler stage, its verdict code, and matrix/CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.cache import ScheduleCache
+from repro.cli import main
+from repro.core.compiler import CompilerConfig, compile_schedule
+from repro.core.pipeline import (
+    STATICALLY_REFUTED,
+    CompilationContext,
+    PrescreenStage,
+    verdict_code,
+)
+from repro.errors import SchedulingError, StaticallyRefutedError
+from repro.experiments import standard_setup
+from repro.experiments.matrix import format_matrix_result, run_feasibility_matrix
+from repro.tfg import dvb_tfg
+
+
+@pytest.fixture(scope="module")
+def refuted_setup(cube6):
+    """dvb16 on the 6-cube at B=64: full load is statically refuted."""
+    return standard_setup(dvb_tfg(16), cube6, bandwidth=64.0)
+
+
+class TestCompilerIntegration:
+    def test_off_by_default_keeps_legacy_error_types(self, refuted_setup):
+        s = refuted_setup
+        with pytest.raises(SchedulingError) as exc:
+            compile_schedule(
+                s.timing, s.topology, s.allocation, s.tau_in_for_load(1.0)
+            )
+        assert not isinstance(exc.value, StaticallyRefutedError)
+
+    def test_prescreen_raises_with_certificates(self, refuted_setup):
+        s = refuted_setup
+        with pytest.raises(StaticallyRefutedError) as exc:
+            compile_schedule(
+                s.timing, s.topology, s.allocation, s.tau_in_for_load(1.0),
+                CompilerConfig(prescreen=True),
+            )
+        error = exc.value
+        assert error.stage == "prescreen"
+        assert error.refutations
+        assert all("kind" in r for r in error.refutations)
+        assert verdict_code(error) == STATICALLY_REFUTED == "REF"
+
+    def test_feasible_compiles_identically_with_prescreen(
+        self, dvb_setup_128
+    ):
+        s = dvb_setup_128
+        tau_in = s.tau_in_for_load(0.5)
+        plain = compile_schedule(s.timing, s.topology, s.allocation, tau_in)
+        screened = compile_schedule(
+            s.timing, s.topology, s.allocation, tau_in,
+            CompilerConfig(prescreen=True),
+        )
+        assert screened.utilization.peak == pytest.approx(
+            plain.utilization.peak
+        )
+        assert screened.schedule.num_commands == plain.schedule.num_commands
+
+    def test_stage_records_the_diagnosis_in_context(self, dvb_setup_128):
+        s = dvb_setup_128
+        context = CompilationContext(
+            tau_in=s.tau_in_for_load(0.5),
+            config=CompilerConfig(prescreen=True),
+            timing=s.timing,
+            topology=s.topology,
+            allocation=s.allocation,
+        )
+        PrescreenStage().run(context)
+        diagnosis = context.extra["diagnosis"]
+        assert not diagnosis.refuted
+
+    def test_negative_cache_round_trip(self, refuted_setup):
+        s = refuted_setup
+        cache = ScheduleCache()
+        config = CompilerConfig(prescreen=True)
+        tau_in = s.tau_in_for_load(1.0)
+        with pytest.raises(StaticallyRefutedError) as cold:
+            compile_schedule(
+                s.timing, s.topology, s.allocation, tau_in, config,
+                cache=cache,
+            )
+        with pytest.raises(StaticallyRefutedError) as warm:
+            compile_schedule(
+                s.timing, s.topology, s.allocation, tau_in, config,
+                cache=cache,
+            )
+        assert cache.stats.hits == 1
+        assert warm.value.refutations == cold.value.refutations
+        assert str(warm.value) == str(cold.value)
+
+    def test_prescreen_field_changes_the_cache_key(self, dvb_setup_128):
+        from repro.cache import schedule_cache_key
+
+        s = dvb_setup_128
+        tau_in = s.tau_in_for_load(0.5)
+        assert schedule_cache_key(
+            s.timing, s.topology, s.allocation, tau_in, CompilerConfig()
+        ) != schedule_cache_key(
+            s.timing, s.topology, s.allocation, tau_in,
+            CompilerConfig(prescreen=True),
+        )
+
+
+class TestMatrixIntegration:
+    @pytest.fixture(scope="class")
+    def matrices(self, cube6):
+        tfg = dvb_tfg(16)
+        kwargs = dict(
+            topologies=[cube6],
+            bandwidths=[64.0],
+            loads=[0.5, 1.0],
+            config=CompilerConfig(seed=0),
+        )
+        plain = run_feasibility_matrix(tfg, **kwargs)
+        screened = run_feasibility_matrix(tfg, prescreen=True, **kwargs)
+        return plain, screened
+
+    def test_feasible_verdicts_identical(self, matrices):
+        plain, screened = matrices
+        for row_a, row_b in zip(plain.rows, screened.rows):
+            for v_a, v_b in zip(row_a.verdicts, row_b.verdicts):
+                assert (v_a == "OK") == (v_b == "OK")
+
+    def test_refuted_points_show_ref(self, matrices):
+        _, screened = matrices
+        assert screened.prescreen
+        assert screened.statically_refuted >= 1
+        assert STATICALLY_REFUTED in screened.rows[0].verdicts
+
+    def test_summary_line_counts_both_kinds(self, matrices):
+        _, screened = matrices
+        text = format_matrix_result(screened)
+        assert "prescreen:" in text
+        assert f"{screened.statically_refuted} point(s) refuted" in text
+
+    def test_plain_result_has_no_prescreen_line(self, matrices):
+        plain, _ = matrices
+        assert plain.statically_refuted == 0
+        assert "prescreen:" not in format_matrix_result(plain)
+
+
+class TestCli:
+    def test_diagnose_text_refuted_exits_nonzero(self, capsys):
+        code = main([
+            "diagnose", "--topology", "hypercube6", "--models", "16",
+            "--load", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "refuted" in out
+        assert "cut-overload" in out
+
+    def test_diagnose_json_payload(self, capsys):
+        code = main([
+            "diagnose", "--topology", "hypercube6", "--models", "16",
+            "--load", "1.0", "--json", "--wr",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["diagnosis"]["refuted"] is True
+        assert payload["diagnosis"]["refutations"]
+        assert "wormhole" in payload
+        assert payload["instance"]["load"] == 1.0
+
+    def test_diagnose_feasible_point_exits_zero(self, capsys):
+        code = main([
+            "diagnose", "--topology", "hypercube6", "--models", "5",
+            "--bandwidth", "128", "--load", "0.5", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["diagnosis"]["refuted"] is False
+
+    def test_matrix_prescreen_flag_prints_summary(self, capsys):
+        code = main([
+            "matrix", "--topologies", "hypercube6", "--models", "16",
+            "--bandwidths", "64", "--loads", "1.0", "--prescreen",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REF" in out
+        assert "prescreen:" in out
