@@ -1,0 +1,105 @@
+"""Compile-farm throughput: a seeded 10k-request mixed load.
+
+Boots a private ``repro.serve`` farm (2 worker processes) and replays
+the load generator's standard mix — cold compiles, duplicates of them,
+statically-refuted instances, and malformed payloads — through real
+HTTP on 8 client threads.  The report lands in ``BENCH_serve.json`` at
+the repo root (the trajectory file EXPERIMENTS.md quotes) and the run
+asserts the farm's two headline properties:
+
+- duplicates are answered from the single-flight memo / cache at least
+  10x faster (p99) than a cold compile;
+- a seeded mixed load produces zero 5xx responses — malformed input is
+  a 400, an infeasible instance is an admission *rejection*, and
+  neither ever reaches the error path.
+
+Run standalone (``python benchmarks/bench_serve.py``) or through
+pytest-benchmark (``pytest benchmarks/bench_serve.py``).  Scale with
+``REPRO_BENCH_SERVE_TOTAL`` (default 10000 requests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.serve.loadgen import check_gates, run_load
+from repro.serve.runner import ServerThread
+from repro.serve.service import ServeConfig
+
+#: One replay's mixed-phase size; the acceptance floor is 10k.
+TOTAL = int(os.environ.get("REPRO_BENCH_SERVE_TOTAL", "10000"))
+SEED = 0
+THREADS = 8
+WORKERS = 2
+
+#: Acceptance gates (ISSUE: "duplicate-request p99 at least 10x lower
+#: than cold-compile p99"; the hit-rate floor mirrors the CI smoke job).
+MAX_DUP_COLD_RATIO = 0.1
+MIN_HIT_RATE = 0.80
+MAX_5XX = 0
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _run() -> dict:
+    with ServerThread(ServeConfig(workers=WORKERS)) as server:
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            total=TOTAL,
+            seed=SEED,
+            threads=THREADS,
+            progress=lambda line: print(f"  {line}"),
+        )
+    return report
+
+
+def _summarize(report: dict) -> str:
+    lines = [
+        f"requests        {report['workload']['total_requests']}",
+        f"throughput      {report['throughput_rps']} req/s (mixed phase)",
+        f"cache hit rate  {report['cache_hit_rate']:.2%}",
+        f"reject rate     {report['admission_reject_rate']:.2%}",
+        f"http 4xx / 5xx  {report['http_4xx']} / {report['http_5xx']}",
+    ]
+    for cls in ("cold", "duplicate", "refuted", "malformed"):
+        summary = report["latency_ms"][cls]
+        lines.append(
+            f"{cls:<10} p50 {summary['p50_ms']:>9.3f} ms   "
+            f"p99 {summary['p99_ms']:>9.3f} ms   (n={summary['count']})"
+        )
+    lines.append(
+        "duplicate p99 / cold p99 = "
+        f"{report['duplicate_p99_over_cold_p99']:.4f}"
+    )
+    return "\n".join(lines)
+
+
+def _check(report: dict) -> list[str]:
+    return check_gates(report, MIN_HIT_RATE, MAX_5XX, MAX_DUP_COLD_RATIO)
+
+
+def test_serve_load(benchmark):
+    report = benchmark.pedantic(_run, rounds=1)
+    OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(_summarize(report))
+    violations = _check(report)
+    assert not violations, "; ".join(violations)
+
+
+def main() -> int:
+    report = _run()
+    OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(_summarize(report))
+    print(f"report written to {OUT}")
+    violations = _check(report)
+    for violation in violations:
+        print(f"GATE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

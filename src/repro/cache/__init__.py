@@ -34,6 +34,7 @@ from repro.cache.store import (
     entry_to_error,
     entry_to_routing,
     error_to_entry,
+    persist_cache_stats,
     routing_to_entry,
 )
 
@@ -51,6 +52,7 @@ __all__ = [
     "entry_to_error",
     "entry_to_routing",
     "error_to_entry",
+    "persist_cache_stats",
     "routing_to_entry",
     "schedule_cache_key",
 ]

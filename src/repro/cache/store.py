@@ -56,6 +56,9 @@ class CacheStats:
     stores: int = 0
     invalidations: int = 0
 
+    #: The raw counter names (everything except the derived hit rate).
+    FIELDS = ("hits", "misses", "stores", "invalidations")
+
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -73,6 +76,67 @@ class CacheStats:
             "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),
         }
+
+    def snapshot(self) -> dict[str, int]:
+        """The raw counters, for :meth:`since` deltas across a task."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def since(self, before: Mapping[str, int]) -> dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Worker processes ship these per-task deltas back to the parent
+        (matrix fan-out, serve farm), which :meth:`merge`\\ s them — so
+        aggregated totals sum correctly even when one long-lived worker
+        cache serves many tasks.
+        """
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in self.FIELDS
+        }
+
+    def merge(self, other: "CacheStats | Mapping[str, int]") -> None:
+        """Add another instance's (or delta dict's) counters into this one."""
+        if isinstance(other, CacheStats):
+            other = other.snapshot()
+        for name in self.FIELDS:
+            setattr(self, name, getattr(self, name) + int(other.get(name, 0)))
+
+
+def persist_cache_stats(
+    cache_dir: str | Path, stats: "Mapping[str, float | int] | CacheStats | None"
+) -> Path | None:
+    """Atomically write aggregated cache counters next to the entries.
+
+    Both graceful-shutdown consumers of the compiler — the experiment
+    matrix's ``jobs=N`` fan-out and the ``repro.serve`` worker pool —
+    call this from their :class:`~repro.pool.GracefulPool` shutdown
+    hooks, so even a SIGTERM-drained run leaves
+    ``<cache_dir>/cache-stats.json`` behind.  Returns the written path
+    (``None`` when there was nothing to persist).
+    """
+    if stats is None:
+        return None
+    if isinstance(stats, CacheStats):
+        stats = stats.as_dict()
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "cache-stats.json"
+    payload = dict(stats)
+    lookups = payload.get("hits", 0) + payload.get("misses", 0)
+    payload.setdefault(
+        "hit_rate",
+        round(payload.get("hits", 0) / lookups, 4) if lookups else 0.0,
+    )
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".stats-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:  # pragma: no cover - cleanup path
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
 
 
 def routing_to_entry(routing: "ScheduledRouting") -> dict[str, Any]:
@@ -210,15 +274,28 @@ class ScheduleCache:
     ----------
     directory:
         When given, entries are also persisted as
-        ``<directory>/<key[:2]>/<key>.json`` and survive the process;
+        ``<directory>/<key[:2]>/<key>.json`` — sharded by the first two
+        hex digits of the content key so concurrent worker processes
+        spread their directory operations over 256 subdirectories
+        instead of contending on one — and survive the process;
         multiple processes may share the directory (writes are atomic).
         When ``None`` the cache is purely in-memory.
+
+    Opening a directory that still holds flat-layout entries
+    (``<directory>/<key>.json``, the pre-shard format) migrates them
+    into their shard subdirectories once, via atomic renames, so mixed
+    and concurrent openers converge on the sharded layout without ever
+    observing a missing entry.
     """
 
     def __init__(self, directory: str | Path | None = None):
         self.directory = Path(directory) if directory is not None else None
         self._memory: dict[str, dict[str, Any]] = {}
         self.stats = CacheStats()
+        #: Flat-layout entries moved into shard dirs when opening.
+        self.migrated_entries = 0
+        if self.directory is not None and self.directory.is_dir():
+            self.migrated_entries = self._migrate_flat_layout()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -232,6 +309,30 @@ class ScheduleCache:
 
     def _disk_path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
+
+    def _migrate_flat_layout(self) -> int:
+        """One-shot migration of pre-shard entries into shard dirs.
+
+        Earlier cache versions wrote ``<directory>/<key>.json`` at the
+        top level; every key is a SHA-256 hex digest, so anything else
+        (``cache-stats.json``, temp files) is left alone.  Renames are
+        atomic and races with other processes migrating the same
+        directory are benign: whoever loses the :func:`os.replace`
+        simply finds the source gone and moves on.
+        """
+        migrated = 0
+        for path in self.directory.glob("*.json"):
+            key = path.stem
+            if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+                continue
+            target = self._disk_path(key)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, target)
+            except OSError:  # pragma: no cover - racing migrator won
+                continue
+            migrated += 1
+        return migrated
 
     def fetch(
         self, key: str, topology: "Topology | None" = None

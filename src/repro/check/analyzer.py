@@ -52,6 +52,7 @@ on schedule content):
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from os import PathLike
@@ -121,6 +122,34 @@ class Finding:
         suffix = f" ({', '.join(where)})" if where else ""
         return f"[{self.severity}] {self.code}: {self.detail}{suffix}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload; tuples become lists, nothing via repr."""
+        return {
+            "severity": self.severity,
+            "code": self.code,
+            "detail": self.detail,
+            "message": self.message,
+            "link": list(self.link) if self.link is not None else None,
+            "node": self.node,
+            "span": list(self.span) if self.span is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        link = payload.get("link")
+        span = payload.get("span")
+        message = payload.get("message")
+        node = payload.get("node")
+        return cls(
+            severity=str(payload["severity"]),
+            code=str(payload["code"]),
+            detail=str(payload.get("detail", "")),
+            message=None if message is None else str(message),
+            link=None if link is None else (int(link[0]), int(link[1])),
+            node=None if node is None else int(node),
+            span=None if span is None else (float(span[0]), float(span[1])),
+        )
+
 
 @dataclass
 class ConformanceReport:
@@ -164,6 +193,34 @@ class ConformanceReport:
         lines = [f"{verdict}: checks run: {', '.join(self.checks)}"]
         lines.extend(str(f) for f in self.findings)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (wire transfer, ``--json`` output)."""
+        return {
+            "tau_in": self.tau_in,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "checks": list(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ConformanceReport":
+        return cls(
+            tau_in=float(payload["tau_in"]),
+            findings=tuple(
+                Finding.from_dict(f) for f in payload.get("findings", ())
+            ),
+            checks=tuple(str(c) for c in payload.get("checks", ())),
+        )
+
+    def to_json(self) -> str:
+        """The report as a JSON document; round-trips via :meth:`from_json`
+        so results cross process boundaries without pickling."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ConformanceReport":
+        return cls.from_dict(json.loads(document))
 
     def emit(self, tracer: "Tracer") -> int:
         """Emit every finding as a ``check``-category trace instant.

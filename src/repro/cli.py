@@ -11,6 +11,8 @@ Runs a figure-style experiment from the shell::
     repro-sr trace --mode sr --load 0.5 --out trace.json
     repro-sr check omega.json --topology hypercube6
     repro-sr fuzz --count 24 --out fuzz-reproducers/
+    repro-sr serve --port 8750 --workers 4 --cache-dir ~/.cache/repro-farm
+    repro-sr submit --topology ghc444 --bandwidth 128 --load 0.5 --port 8750
 """
 
 from __future__ import annotations
@@ -33,29 +35,13 @@ from repro.mapping.allocation import (
 from repro.metrics import load_sweep
 from repro.report import format_spike, format_table
 from repro.tfg import dvb_tfg
-from repro.topology import GeneralizedHypercube, Torus, binary_hypercube
-
-TOPOLOGIES = {
-    "hypercube6": lambda: binary_hypercube(6),
-    "ghc444": lambda: GeneralizedHypercube((4, 4, 4)),
-    "torus8x8": lambda: Torus((8, 8)),
-    "torus4x4x4": lambda: Torus((4, 4, 4)),
-}
-
-#: Paper-style shorthand accepted anywhere a ``--topology`` is.
-TOPOLOGY_ALIASES = {
-    "6cube": "hypercube6",
-    "cube6": "hypercube6",
-    "8x8torus": "torus8x8",
-    "4x4x4torus": "torus4x4x4",
-}
+from repro.topology import (
+    STANDARD_TOPOLOGIES as TOPOLOGIES,
+    TOPOLOGY_ALIASES,
+    make_topology,
+)
 
 ALLOCATORS = ("sequential", "bfs", "random", "annealed")
-
-
-def make_topology(name: str):
-    """Resolve a ``--topology`` value (canonical name or alias)."""
-    return TOPOLOGIES[TOPOLOGY_ALIASES.get(name, name)]()
 
 
 def _nonnegative_int(value: str) -> int:
@@ -497,6 +483,61 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    return serve_forever(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            admission=not args.no_admission,
+        )
+    )
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.serve import ServeClient
+
+    payload = {
+        "kind": args.kind,
+        "topology": args.topology,
+        "bandwidth": args.bandwidth,
+        "models": args.models,
+        "load": args.load,
+        "allocator": args.allocator,
+        "seed": args.seed,
+    }
+    with ServeClient(args.host, args.port) as client:
+        status, body = client.submit(
+            payload, wait=not args.no_wait, timeout=args.timeout
+        )
+        if args.json:
+            print(json.dumps(body, indent=2, sort_keys=True))
+        else:
+            state = body.get("state", "?")
+            result = body.get("result") or {}
+            line = f"job {body.get('id', '?')}: {state}"
+            if result.get("verdict"):
+                line += f" ({result['verdict']})"
+            if result.get("utilization") is not None:
+                line += (
+                    f", U={result['utilization']:.4f}, "
+                    f"{result.get('commands', 0)} commands"
+                )
+            if body.get("elapsed_ms") is not None:
+                line += f", {body['elapsed_ms']:.1f}ms"
+            print(line)
+            if body.get("error"):
+                print(f"  error: {body['error']}")
+    if status >= 400:
+        return 1
+    return 0 if body.get("state") in ("done", "queued", "admitted", "running") else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-sr`` console script."""
     parser = argparse.ArgumentParser(
@@ -698,6 +739,54 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the TOP busiest traced links as ASCII bars",
     )
     p_trace.set_defaults(func=_cmd_trace, bandwidth=128.0)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile-farm daemon (HTTP/JSON job queue)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8750,
+        help="TCP port to bind (0 picks a free one)",
+    )
+    p_serve.add_argument(
+        "--workers", type=_nonnegative_int, default=2,
+        help="compile worker processes (0 = inline, single process)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="shared schedule cache directory (default: ephemeral)",
+    )
+    p_serve.add_argument(
+        "--no-admission", action="store_true",
+        help="disable the static-diagnoser admission fast path",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running compile farm"
+    )
+    _add_common(p_submit)
+    p_submit.add_argument("--load", type=float, default=0.5)
+    p_submit.add_argument(
+        "--kind", choices=("compile", "diagnose", "check"),
+        default="compile",
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8750)
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="cap on --wait blocking, seconds",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full job snapshot as JSON",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_topo = sub.add_parser("topology", help="structural summaries")
     p_topo.set_defaults(func=_cmd_topology)

@@ -49,6 +49,7 @@ another assignment might still succeed, so they never gate compilation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -137,6 +138,14 @@ class Refutation:
             capacity=float(payload.get("capacity", 0.0)),
             scope=str(payload.get("scope", SCOPE_INSTANCE)),
         )
+
+    def to_json(self) -> str:
+        """The certificate as a JSON document (see :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "Refutation":
+        return cls.from_dict(json.loads(document))
 
     def describe(self) -> str:
         """Terminal-friendly single line."""
@@ -227,3 +236,13 @@ class Diagnosis:
             checks=tuple(str(c) for c in payload.get("checks", ())),
             elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
         )
+
+    def to_json(self) -> str:
+        """The diagnosis as a JSON document; round-trips via
+        :meth:`from_json` so admission verdicts cross the wire without
+        pickling."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "Diagnosis":
+        return cls.from_dict(json.loads(document))

@@ -16,12 +16,12 @@ infeasible points, via negative entries — skip the LP work entirely.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Mapping
 
-from repro.cache import ScheduleCache
+from repro.cache import ScheduleCache, persist_cache_stats
 from repro.core.compiler import CompilerConfig, compile_schedule
 from repro.core.pipeline import (
     CHECK_FLAGGED,
@@ -32,6 +32,7 @@ from repro.core.pipeline import (
 )
 from repro.errors import SchedulingError
 from repro.experiments.setup import standard_setup
+from repro.pool import GracefulPool
 from repro.tfg.graph import TaskFlowGraph
 from repro.topology.base import Topology
 
@@ -74,6 +75,9 @@ class MatrixResult:
     jobs: int
     cache_stats: dict[str, float | int] | None = None
     prescreen: bool = False
+    #: True when a SIGTERM/SIGINT drained the worker pool mid-sweep:
+    #: in-flight cells finished, queued ones carry the "-" verdict.
+    interrupted: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -226,6 +230,7 @@ def run_feasibility_matrix(
         for load in loads
     ]
 
+    interrupted = False
     if jobs > 1:
         if isinstance(cache, ScheduleCache):
             raise ValueError(
@@ -240,20 +245,34 @@ def run_feasibility_matrix(
             )
             for i, (topology, bandwidth, load) in enumerate(points)
         ]
-        verdicts: list[str] = [""] * len(points)
+        verdicts: list[str] = ["-"] * len(points)
         totals: dict[str, float | int] | None = (
             {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
             if cache_dir is not None
             else None
         )
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for index, verdict, stats in pool.map(_matrix_cell, payloads):
+        hooks = (
+            [lambda: persist_cache_stats(cache_dir, totals)]
+            if cache_dir is not None
+            else []
+        )
+        with GracefulPool(max_workers=jobs, on_shutdown=hooks) as pool:
+            pool.install_signal_handlers()
+            futures = [pool.submit(_matrix_cell, p) for p in payloads]
+            for future in as_completed(futures):
+                if future.cancelled():  # drained by SIGTERM/SIGINT
+                    continue
+                index, verdict, stats = future.result()
                 verdicts[index] = verdict
                 if totals is not None and stats is not None:
                     for field in totals:
                         totals[field] += stats[field]
+            interrupted = pool.draining
         cache_stats = totals
     else:
+        cache_dir = (
+            str(cache) if isinstance(cache, (str, Path)) else None
+        )
         if isinstance(cache, (str, Path)):
             cache = ScheduleCache(cache)
         verdicts = [
@@ -264,6 +283,8 @@ def run_feasibility_matrix(
             for topology, bandwidth, load in points
         ]
         cache_stats = cache.stats.as_dict() if cache is not None else None
+        if cache_dir is not None:
+            persist_cache_stats(cache_dir, cache_stats)
 
     rows: list[MatrixRow] = []
     stride = len(loads)
@@ -285,6 +306,7 @@ def run_feasibility_matrix(
         jobs=jobs,
         cache_stats=cache_stats,
         prescreen=config.prescreen,
+        interrupted=interrupted,
     )
 
 
@@ -334,6 +356,11 @@ def format_matrix_result(result: MatrixResult) -> str:
             f"(hit rate {result.hit_rate:.1%})"
         )
     lines.append(run)
+    if result.interrupted:
+        lines.append(
+            "interrupted: the worker pool was drained by a signal; "
+            "cells marked '-' were never compiled"
+        )
     if result.prescreen:
         lines.append(
             f"prescreen: {result.statically_refuted} point(s) refuted "

@@ -1,0 +1,41 @@
+"""``repro.serve`` — the async compile-farm service layer.
+
+The paper's compiler answers one instance at a time; this package turns
+it into a long-running service answering *streams* of compile /
+diagnose / check requests the way a production scheduling farm would:
+
+- :mod:`~repro.serve.jobs` — request validation, job lifecycle, store;
+- :mod:`~repro.serve.service` — :class:`CompileService`: single-flight
+  dedup, diagnoser admission control, dispatch to a
+  :class:`~repro.pool.GracefulPool` of workers over the shared sharded
+  on-disk :class:`~repro.cache.ScheduleCache`;
+- :mod:`~repro.serve.worker` — the process-side task executor (JSON in,
+  JSON out, per-task cache-stat deltas);
+- :mod:`~repro.serve.http` — stdlib-asyncio HTTP/1.1 endpoints,
+  including the chunked stage-progress stream;
+- :mod:`~repro.serve.runner` — the ``repro-sr serve`` daemon loop and a
+  background :class:`ServerThread` for tests/benchmarks;
+- :mod:`~repro.serve.client` — blocking client (``repro-sr submit``);
+- :mod:`~repro.serve.loadgen` — the seeded mixed-load benchmark behind
+  ``BENCH_serve.json`` and the CI smoke gate.
+
+See ``docs/serve.md`` for the architecture walk-through.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.jobs import BadRequest, Job, JobRequest, JobStore
+from repro.serve.runner import ServerThread, serve_forever
+from repro.serve.service import CompileService, ServeConfig, ServiceStats
+
+__all__ = [
+    "BadRequest",
+    "CompileService",
+    "Job",
+    "JobRequest",
+    "JobStore",
+    "ServeClient",
+    "ServeConfig",
+    "ServerThread",
+    "ServiceStats",
+    "serve_forever",
+]

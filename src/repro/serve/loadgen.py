@@ -1,0 +1,438 @@
+"""Seeded load generator and latency benchmark for the farm.
+
+Drives a real (socket-level) farm with a deterministic mixed workload
+of four request classes:
+
+``cold``
+    Distinct feasible instances no cache has seen — each pays one full
+    scheduled-routing compilation.
+``duplicate``
+    Exact repeats of the cold instances — the single-flight/dedup and
+    cache fast paths must answer these in milliseconds.
+``refuted``
+    Statically hopeless instances (high-load DVB-16 on the 6-cube at
+    B=64) — admission control must turn these away without ever
+    occupying a worker.
+``malformed``
+    Broken payloads (unknown topology, out-of-range load, bogus config
+    keys) — the farm must answer 400, never 5xx.
+
+The run is two-phased: the cold instances are compiled first (so the
+caches are warm and attributable), then a seeded shuffle of the
+remaining mix is replayed by ``threads`` concurrent clients.  The
+report pins per-class p50/p99 latency, throughput, cache hit rate and
+admission-reject rate — the numbers ``BENCH_serve.json`` and the CI
+smoke gate quote.
+
+Run standalone against a self-hosted farm::
+
+    python -m repro.serve.loadgen --total 10000 --workers 2 \\
+        --out BENCH_serve.json --min-hit-rate 0.9 --max-5xx 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "build_mix",
+    "cold_payloads",
+    "malformed_payloads",
+    "refuted_payloads",
+    "run_load",
+]
+
+COLD = "cold"
+DUPLICATE = "duplicate"
+REFUTED = "refuted"
+MALFORMED = "malformed"
+
+
+def cold_payloads(count: int = 6) -> list[dict[str, Any]]:
+    """``count`` distinct, feasible, fast-to-compile instances.
+
+    Small DVB workloads at B=128 bytes/us and low load: every one
+    compiles in well under a second yet runs the full LP pipeline, so
+    cold latency is honest compiler work.
+    """
+    instances = []
+    for models in (3, 4, 5, 6):
+        for load in (0.2, 0.25, 0.3):
+            instances.append(
+                {
+                    "kind": "compile",
+                    "topology": "hypercube6",
+                    "bandwidth": 128.0,
+                    "models": models,
+                    "load": load,
+                    "seed": 0,
+                }
+            )
+    if count > len(instances):
+        raise ValueError(
+            f"at most {len(instances)} distinct cold instances available"
+        )
+    return instances[:count]
+
+
+def refuted_payloads(count: int = 4) -> list[dict[str, Any]]:
+    """Instances the static diagnoser refutes outright.
+
+    DVB-16 at B=64 and full load saturates forced links on the 6-cube
+    (window/link-overload certificates); varying the seed makes each a
+    distinct request identity while sharing one cached diagnosis —
+    which is exactly the admission-cache path under test.
+    """
+    return [
+        {
+            "kind": "compile",
+            "topology": "hypercube6",
+            "bandwidth": 64.0,
+            "models": 16,
+            "load": 1.0,
+            "seed": seed,
+        }
+        for seed in range(count)
+    ]
+
+
+def malformed_payloads() -> list[dict[str, Any]]:
+    """Payload shapes the farm must 400 (and never 5xx)."""
+    return [
+        {"topology": "notamachine", "load": 0.5},
+        {"topology": "hypercube6"},  # missing load
+        {"topology": "hypercube6", "load": 2.0},
+        {"topology": "hypercube6", "load": 0.5, "kind": "destroy"},
+        {"topology": "hypercube6", "load": 0.5, "config": {"bogus": 1}},
+        {"topology": "hypercube6", "load": 0.5, "models": -3},
+    ]
+
+
+def build_mix(
+    total: int,
+    seed: int,
+    cold: list[dict[str, Any]],
+    refuted_share: float = 0.10,
+    malformed_share: float = 0.02,
+) -> list[tuple[str, dict[str, Any]]]:
+    """The seeded mixed-phase request list (everything after cold).
+
+    Deterministic in ``seed``: same seed, same total → byte-identical
+    request sequence, which is what makes warm-replay comparisons and
+    CI smoke-gate numbers reproducible.
+    """
+    rng = random.Random(seed)
+    remaining = total - len(cold)
+    if remaining < 0:
+        raise ValueError(f"total {total} below cold-set size {len(cold)}")
+    n_refuted = int(remaining * refuted_share)
+    n_malformed = int(remaining * malformed_share)
+    n_duplicate = remaining - n_refuted - n_malformed
+    refuted = refuted_payloads()
+    malformed = malformed_payloads()
+    mix: list[tuple[str, dict[str, Any]]] = []
+    mix.extend(
+        (DUPLICATE, rng.choice(cold)) for _ in range(n_duplicate)
+    )
+    mix.extend((REFUTED, rng.choice(refuted)) for _ in range(n_refuted))
+    mix.extend(
+        (MALFORMED, malformed[i % len(malformed)])
+        for i in range(n_malformed)
+    )
+    rng.shuffle(mix)
+    return mix
+
+
+@dataclass
+class _Record:
+    cls: str
+    status: int
+    ms: float
+    state: str
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _one_request(client: ServeClient, cls: str,
+                 payload: dict[str, Any]) -> _Record:
+    start = time.perf_counter()
+    status, body = client.submit(payload, wait=True)
+    elapsed = (time.perf_counter() - start) * 1000.0
+    return _Record(cls, status, elapsed, str(body.get("state", "")))
+
+
+def _drive(host: str, port: int,
+           work: list[tuple[str, dict[str, Any]]],
+           threads: int,
+           progress: Callable[[str], None] | None = None) -> list[_Record]:
+    """Replay ``work`` in order across ``threads`` keep-alive clients."""
+    records: list[_Record] = [None] * len(work)  # type: ignore[list-item]
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def runner() -> None:
+        with ServeClient(host, port) as client:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(work):
+                        return
+                    cursor["next"] = index + 1
+                cls, payload = work[index]
+                records[index] = _one_request(client, cls, payload)
+                if progress and index and index % 2000 == 0:
+                    progress(f"  ... {index}/{len(work)} requests")
+
+    pool = [
+        threading.Thread(target=runner, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, threads))
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return records
+
+
+def _class_summary(records: list[_Record], cls: str) -> dict[str, Any]:
+    latencies = [r.ms for r in records if r.cls == cls]
+    return {
+        "count": len(latencies),
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "mean_ms": round(
+            sum(latencies) / len(latencies) if latencies else 0.0, 3
+        ),
+        "max_ms": round(max(latencies, default=0.0), 3),
+    }
+
+
+def _histogram(records: list[_Record]) -> list[dict[str, Any]]:
+    """Log-spaced latency buckets (CI artifact)."""
+    edges = [0.5 * (2 ** i) for i in range(16)]  # 0.5ms .. ~16s
+    buckets = [0] * (len(edges) + 1)
+    for record in records:
+        for i, edge in enumerate(edges):
+            if record.ms <= edge:
+                buckets[i] += 1
+                break
+        else:
+            buckets[-1] += 1
+    rows = []
+    lower = 0.0
+    for edge, count in zip(edges, buckets):
+        rows.append({"le_ms": edge, "gt_ms": lower, "count": count})
+        lower = edge
+    rows.append({"le_ms": None, "gt_ms": lower, "count": buckets[-1]})
+    return rows
+
+
+def run_load(
+    host: str,
+    port: int,
+    total: int = 10_000,
+    seed: int = 0,
+    threads: int = 8,
+    cold_count: int = 6,
+    replays: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the full two-phase benchmark; returns the report dict.
+
+    ``replays > 1`` repeats the mixed phase (same seeded sequence) —
+    the warm-replay mode the CI smoke job uses to assert the cache
+    serves a re-run almost entirely.  ``total`` counts one replay's
+    requests; the report's ``total_requests`` covers all phases.
+    """
+    say = progress or (lambda _line: None)
+    cold = cold_payloads(cold_count)
+
+    say(f"phase 1: compiling {len(cold)} cold instance(s)")
+    cold_records = _drive(
+        host, port, [(COLD, payload) for payload in cold], threads=2
+    )
+    for record in cold_records:
+        if record.status != 200 or record.state != "done":
+            raise RuntimeError(
+                f"cold instance did not compile: HTTP {record.status}, "
+                f"state {record.state!r}"
+            )
+
+    mix = build_mix(total, seed, cold)
+    mixed_records: list[_Record] = []
+    mixed_seconds = 0.0
+    for replay in range(max(1, replays)):
+        say(
+            f"phase 2 (replay {replay + 1}/{replays}): "
+            f"{len(mix)} mixed requests on {threads} thread(s)"
+        )
+        phase_start = time.perf_counter()
+        mixed_records.extend(
+            _drive(host, port, mix, threads, progress=progress)
+        )
+        mixed_seconds += time.perf_counter() - phase_start
+
+    records = cold_records + mixed_records
+    with ServeClient(host, port) as client:
+        server_stats = client.stats()
+
+    n_5xx = sum(1 for r in records if r.status >= 500)
+    n_4xx = sum(1 for r in records if 400 <= r.status < 500)
+    rejected = sum(1 for r in records if r.state == "rejected")
+    accepted = len(records) - sum(1 for r in records if r.cls == MALFORMED)
+    service = server_stats.get("service", {})
+    submitted = max(1, service.get("submitted", accepted))
+    hits = service.get("fast_hits", 0) + service.get("coalesced", 0)
+
+    classes = {
+        cls: _class_summary(records, cls)
+        for cls in (COLD, DUPLICATE, REFUTED, MALFORMED)
+    }
+    cold_p99 = classes[COLD]["p99_ms"] or 1.0
+    report = {
+        "workload": {
+            "total_requests": len(records),
+            "mixed_requests": len(mixed_records),
+            "seed": seed,
+            "threads": threads,
+            "replays": max(1, replays),
+            "cold_instances": len(cold),
+            "mix_counts": {
+                cls: sum(1 for r in records if r.cls == cls)
+                for cls in (COLD, DUPLICATE, REFUTED, MALFORMED)
+            },
+        },
+        "latency_ms": classes,
+        "throughput_rps": round(
+            len(mixed_records) / mixed_seconds if mixed_seconds else 0.0, 1
+        ),
+        "mixed_phase_seconds": round(mixed_seconds, 3),
+        "cache_hit_rate": round(hits / submitted, 4),
+        "admission_reject_rate": round(rejected / max(1, accepted), 4),
+        "duplicate_p99_over_cold_p99": round(
+            classes[DUPLICATE]["p99_ms"] / cold_p99, 4
+        ),
+        "http_4xx": n_4xx,
+        "http_5xx": n_5xx,
+        "histogram": _histogram(records),
+        "server": server_stats,
+    }
+    return report
+
+
+def check_gates(report: dict[str, Any], min_hit_rate: float | None,
+                max_5xx: int | None,
+                max_dup_cold_ratio: float | None) -> list[str]:
+    """CI gate evaluation; returns human-readable violations."""
+    violations = []
+    if min_hit_rate is not None and report["cache_hit_rate"] < min_hit_rate:
+        violations.append(
+            f"cache hit rate {report['cache_hit_rate']:.4f} "
+            f"< required {min_hit_rate}"
+        )
+    if max_5xx is not None and report["http_5xx"] > max_5xx:
+        violations.append(
+            f"{report['http_5xx']} 5xx responses (allowed {max_5xx})"
+        )
+    ratio = report["duplicate_p99_over_cold_p99"]
+    if max_dup_cold_ratio is not None and ratio > max_dup_cold_ratio:
+        violations.append(
+            f"duplicate p99 is {ratio:.3f}x cold p99 "
+            f"(must be <= {max_dup_cold_ratio})"
+        )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark a repro.serve farm with a seeded mixed load"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="existing farm to target; 0 boots a private one",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the self-hosted farm")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory for the self-hosted farm")
+    parser.add_argument("--total", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--cold", type=int, default=6)
+    parser.add_argument("--replays", type=int, default=1)
+    parser.add_argument("--out", default=None, help="write the JSON report")
+    parser.add_argument("--histogram-out", default=None,
+                        help="write only the latency histogram (CI artifact)")
+    parser.add_argument("--min-hit-rate", type=float, default=None)
+    parser.add_argument("--max-5xx", type=int, default=None)
+    parser.add_argument("--max-dup-cold-ratio", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    server = None
+    host, port = args.host, args.port
+    try:
+        if port == 0:
+            from repro.serve.runner import ServerThread
+            from repro.serve.service import ServeConfig
+
+            print(f"booting private farm (workers={args.workers})")
+            server = ServerThread(
+                ServeConfig(workers=args.workers, cache_dir=args.cache_dir)
+            ).start()
+            host, port = "127.0.0.1", server.port
+        report = run_load(
+            host,
+            port,
+            total=args.total,
+            seed=args.seed,
+            threads=args.threads,
+            cold_count=args.cold,
+            replays=args.replays,
+            progress=print,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+
+    print(json.dumps(
+        {k: v for k, v in report.items() if k not in ("histogram", "server")},
+        indent=2, sort_keys=True,
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    if args.histogram_out:
+        with open(args.histogram_out, "w", encoding="utf-8") as handle:
+            json.dump(report["histogram"], handle, indent=2)
+            handle.write("\n")
+        print(f"histogram written to {args.histogram_out}")
+
+    violations = check_gates(
+        report, args.min_hit_rate, args.max_5xx, args.max_dup_cold_ratio
+    )
+    for violation in violations:
+        print(f"GATE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,469 @@
+"""The compile-farm service: admission, single-flight, dispatch.
+
+:class:`CompileService` is the asyncio-side brain of ``repro.serve``;
+the HTTP layer (:mod:`repro.serve.http`) is a thin codec over it.  A
+submitted request flows through four gates, cheapest first:
+
+1. **Validation** — :meth:`~repro.serve.jobs.JobRequest.from_payload`
+   rejects malformed payloads before anything is allocated.
+2. **Single-flight dedup** — requests whose canonical form matches a
+   job already in flight *attach to that job* instead of spawning a
+   second compilation; requests matching an already-finished job are
+   answered from the service's result memo without touching a worker.
+3. **Admission control** — the static diagnoser
+   (:func:`repro.diagnose.diagnose_instance`) runs in the front-end;
+   a sound refutation certificate turns the job away (state
+   ``rejected``) in milliseconds, so provably hopeless instances never
+   occupy a worker.  Diagnoses are cached in the shared cache's
+   disjoint diagnosis key space — never as negative schedule entries.
+4. **Dispatch** — surviving jobs run
+   :func:`repro.serve.worker.execute_request` on a
+   :class:`~repro.pool.GracefulPool` of processes sharing the sharded
+   on-disk cache (``workers=0`` executes inline on a thread — the
+   single-process mode tests and smoke runs use).
+
+Stage-level progress spooled by the worker's
+:class:`~repro.trace.profile.CompileProfiler` callbacks is tailed into
+``Job.events`` while the compilation runs, which is what the chunked
+``/v1/jobs/<id>/events`` stream and the polling ``/v1/jobs/<id>`` view
+both read.
+
+Every gate emits a ``serve``-category trace instant (``enqueue`` /
+``admit`` / ``reject`` / ``dispatch`` / ``complete`` / ``coalesce`` /
+``fail``) carrying the in-flight queue depth, so a
+:class:`~repro.trace.tracer.TraceRecorder` attached to the service
+yields a load timeline alongside the compiler's own events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import shutil
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Any, Callable, Mapping
+
+from repro.cache import (
+    CacheStats,
+    ScheduleCache,
+    persist_cache_stats,
+    schedule_cache_key,
+)
+from repro.pool import GracefulPool
+from repro.serve import worker
+from repro.serve.jobs import (
+    JOB_ADMITTED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_REJECTED,
+    JOB_RUNNING,
+    Job,
+    JobRequest,
+    JobStore,
+)
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+__all__ = ["CompileService", "ServeConfig", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Deployment knobs of one farm instance.
+
+    ``workers=0`` executes requests inline on a thread of the serving
+    process (no child processes) — the mode unit tests and the CI smoke
+    job use; any positive count runs a :class:`~repro.pool.GracefulPool`
+    of that many processes.  ``cache_dir=None`` creates an ephemeral
+    shared cache directory for the service's lifetime (removed on
+    shutdown); point it at a persistent path to keep warm results
+    across restarts.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 0
+    cache_dir: str | Path | None = None
+    admission: bool = True
+    history_limit: int = 4096
+    #: Hard cap on ``?wait=1`` blocking, seconds.
+    wait_timeout: float = 600.0
+
+
+@dataclass
+class ServiceStats:
+    """Request counters of one service instance.
+
+    ``coalesced`` counts duplicates that attached to an in-flight job;
+    ``fast_hits`` counts duplicates answered from the finished-result
+    memo without dispatch.  ``worker_cache`` aggregates the per-task
+    cache-counter deltas every worker result ships back, so a stats
+    snapshot can show farm-wide cache behaviour even though each worker
+    process owns its own memory tier.
+    """
+
+    submitted: int = 0
+    malformed: int = 0
+    coalesced: int = 0
+    fast_hits: int = 0
+    rejected: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    failed: int = 0
+    worker_cache: CacheStats = field(default_factory=CacheStats)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "malformed": self.malformed,
+            "coalesced": self.coalesced,
+            "fast_hits": self.fast_hits,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class CompileService:
+    """One compile farm: job store, caches, worker pool, statistics.
+
+    Lifecycle: construct, :meth:`start` (from the event-loop thread),
+    :meth:`submit` per request, :meth:`shutdown` once.  All public
+    methods except the documented thread-safe helpers must be called
+    on the event-loop thread.
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 tracer: Tracer = NULL_TRACER):
+        self.config = config or ServeConfig()
+        self.tracer = tracer
+        self.store = JobStore(history_limit=self.config.history_limit)
+        self.stats = ServiceStats()
+        self.pool: GracefulPool | None = None
+        self.cache: ScheduleCache | None = None
+        self.cache_dir: Path | None = None
+        self._ephemeral_cache = False
+        self._spool_dir: Path | None = None
+        self._inflight: dict[str, Job] = {}
+        self._results: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        #: (setup, tau_in, schedule key) per instance identity; built
+        #: once in the event loop, then read-only from admission threads.
+        self._instances: dict[JobRequest, tuple[Any, float, str]] = {}
+        self._admit_lock = Lock()
+        self._tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._started = time.time()
+        #: Indirection for tests: the callable dispatched per job.
+        self._execute: Callable[[Mapping[str, Any]], dict[str, Any]] = (
+            worker.execute_request
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the shared cache, spool area, and worker pool."""
+        if self.config.cache_dir is not None:
+            self.cache_dir = Path(self.config.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self.cache_dir = Path(tempfile.mkdtemp(prefix="repro-serve-cache-"))
+            self._ephemeral_cache = True
+        self.cache = ScheduleCache(self.cache_dir)
+        self._spool_dir = Path(tempfile.mkdtemp(prefix="repro-serve-spool-"))
+        if self.config.workers > 0:
+            self.pool = GracefulPool(
+                max_workers=self.config.workers,
+                on_shutdown=[self._persist_stats],
+            )
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown started (POSTs get 503 from here on)."""
+        if self._draining:
+            return True
+        return self.pool is not None and self.pool.draining
+
+    async def shutdown(self) -> None:
+        """Drain in-flight jobs, persist cache stats, release resources.
+
+        The same graceful path the matrix uses: running compilations
+        finish (their cache writes land), queued ones are cancelled,
+        and ``<cache_dir>/cache-stats.json`` records the totals.
+        """
+        self._draining = True
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self.pool is not None:
+            await asyncio.to_thread(self.pool.shutdown, True)
+        else:
+            self._persist_stats()
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+        if self._ephemeral_cache and self.cache_dir is not None:
+            shutil.rmtree(self.cache_dir, ignore_errors=True)
+
+    def _persist_stats(self) -> None:
+        """GracefulPool shutdown hook: flush merged cache counters."""
+        if self.cache_dir is None or self.cache is None:
+            return
+        combined = CacheStats()
+        combined.merge(self.cache.stats)
+        combined.merge(self.stats.worker_cache)
+        persist_cache_stats(self.cache_dir, combined)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, payload: Any) -> Job:
+        """Validate and enqueue one request; returns its (shared) job.
+
+        Raises :class:`~repro.serve.jobs.BadRequest` on malformed input.
+        Duplicates of an in-flight or finished request return the
+        existing job object — callers observe single-flight semantics
+        through the shared job id.
+        """
+        request = JobRequest.from_payload(payload)
+        self.stats.submitted += 1
+        signature = request.instance_signature()
+
+        flight = self._inflight.get(signature)
+        if flight is not None:
+            flight.coalesced += 1
+            self.stats.coalesced += 1
+            self._trace("coalesce", flight)
+            return flight
+
+        job = Job(
+            id=self.store.new_id(),
+            request=request,
+            key=self._instance(request)[2],
+        )
+        self.store.add(job)
+        job.add_event("enqueue", queue_depth=len(self._inflight))
+        self._trace("enqueue", job)
+
+        done = self._results.get(signature)
+        if done is not None:
+            self.stats.fast_hits += 1
+            job.result = done.get("result")
+            job.error = done.get("error")
+            job.transition(done["state"], fast_path=True)
+            self._trace("complete", job, fast_path=True)
+            return job
+
+        self._inflight[signature] = job
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(job, signature)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    def _instance(self, request: JobRequest) -> tuple[Any, float, str]:
+        """Memoized (setup, tau_in, schedule key) for a request.
+
+        Keyed on the request with ``kind`` normalized away: compile,
+        check and diagnose requests for the same point share one built
+        instance and one content key.
+        """
+        identity = dataclasses.replace(request, kind="compile")
+        entry = self._instances.get(identity)
+        if entry is None:
+            setup, tau_in = worker.build_setup(request)
+            key = schedule_cache_key(
+                setup.timing,
+                setup.topology,
+                setup.allocation,
+                tau_in,
+                request.compiler_config(),
+            )
+            entry = self._instances[identity] = (setup, tau_in, key)
+        return entry
+
+    # -- job execution ---------------------------------------------------
+
+    async def _run_job(self, job: Job, signature: str) -> None:
+        try:
+            await self._admit_and_dispatch(job)
+        except Exception as error:  # noqa: BLE001 - job-scoped firewall
+            job.error = {"type": type(error).__name__, "detail": str(error)}
+            self.stats.failed += 1
+            job.transition(JOB_FAILED, error=type(error).__name__)
+            self._trace("fail", job)
+        finally:
+            self._inflight.pop(signature, None)
+            self._remember(signature, job)
+
+    async def _admit_and_dispatch(self, job: Job) -> None:
+        request = job.request
+        if self.config.admission and request.kind != "diagnose":
+            diagnosis = await asyncio.to_thread(self._admit, request)
+            if diagnosis.refuted:
+                job.result = {
+                    "feasible": False,
+                    "verdict": "REF",
+                    "tau_in": self._instance(request)[1],
+                    "diagnosis": diagnosis.to_dict(),
+                }
+                self.stats.rejected += 1
+                job.transition(
+                    JOB_REJECTED,
+                    verdict="REF",
+                    certificates=len(diagnosis.instance_refutations),
+                )
+                self._trace("reject", job)
+                return
+            job.transition(JOB_ADMITTED)
+        else:
+            job.transition(JOB_ADMITTED, admission="skipped")
+        self._trace("admit", job)
+
+        assert self._spool_dir is not None and self.cache_dir is not None
+        spool = self._spool_dir / f"{job.id}.events.jsonl"
+        payload = {
+            "request": request.canonical(),
+            "cache_dir": str(self.cache_dir),
+            "spool": str(spool),
+        }
+        self.stats.dispatched += 1
+        job.transition(JOB_RUNNING)
+        self._trace("dispatch", job)
+        tail = asyncio.get_running_loop().create_task(
+            self._tail_spool(job, spool)
+        )
+        try:
+            if self.pool is not None:
+                future = self.pool.submit(self._execute, payload)
+                result = await asyncio.wrap_future(future)
+            else:
+                result = await asyncio.to_thread(self._execute, payload)
+        finally:
+            tail.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await tail
+            spool.unlink(missing_ok=True)
+        delta = result.pop("cache_stats", None)
+        if delta:
+            self.stats.worker_cache.merge(delta)
+        job.result = result
+        self.stats.completed += 1
+        job.transition(JOB_DONE, verdict=result.get("verdict"))
+        self._trace("complete", job)
+
+    def _admit(self, request: JobRequest):
+        """Admission fast path (thread-side): statically diagnose.
+
+        Serialized by a lock — diagnoses are millisecond-cheap, and the
+        front cache's counters stay exact without per-field atomics.
+        Results land in the shared cache's *diagnosis* key space (never
+        as negative schedule entries, which would poison compile
+        lookups under different configs).
+        """
+        from repro.diagnose import diagnose_instance
+
+        setup, tau_in, _key = self._instance(request)
+        with self._admit_lock:
+            return diagnose_instance(
+                setup.timing,
+                setup.topology,
+                setup.allocation,
+                tau_in,
+                sync_margin=request.compiler_config().sync_margin,
+                cache=self.cache,
+            )
+
+    def _remember(self, signature: str, job: Job) -> None:
+        """Memo a terminal outcome for the duplicate fast path."""
+        if not job.terminal:
+            return
+        self._results[signature] = {
+            "state": job.state,
+            "result": job.result,
+            "error": job.error,
+        }
+        while len(self._results) > self.config.history_limit:
+            self._results.popitem(last=False)
+
+    # -- progress streaming ----------------------------------------------
+
+    async def _tail_spool(self, job: Job, path: Path) -> None:
+        """Mirror worker progress lines into ``job.events`` live.
+
+        Cancelled when the worker result arrives; the cancellation
+        handler pumps once more so no trailing stage event is lost.
+        """
+        offset = 0
+        try:
+            while True:
+                offset = self._pump_spool(job, path, offset)
+                await asyncio.sleep(0.02)
+        except asyncio.CancelledError:
+            self._pump_spool(job, path, offset)
+            raise
+
+    @staticmethod
+    def _pump_spool(job: Job, path: Path, offset: int) -> int:
+        """Consume complete spool lines past ``offset``; new offset."""
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return offset
+        end = data.rfind(b"\n")
+        if end < 0:
+            return offset
+        for line in data[:end].split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                name = str(event.pop("event", "progress"))
+                job.add_event(name, **event)
+        return offset + end + 1
+
+    # -- observability ---------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """The ``/v1/stats`` payload."""
+        cache = CacheStats()
+        if self.cache is not None:
+            cache.merge(self.cache.stats)
+        cache.merge(self.stats.worker_cache)
+        payload: dict[str, Any] = {
+            "uptime_s": round(time.time() - self._started, 3),
+            "workers": self.config.workers,
+            "draining": self.draining,
+            "queue_depth": len(self._inflight),
+            "jobs_tracked": len(self.store),
+            "service": self.stats.as_dict(),
+            "cache": cache.as_dict(),
+        }
+        if self.cache_dir is not None:
+            payload["cache_dir"] = str(self.cache_dir)
+        if self.cache is not None:
+            payload["cache_migrated_entries"] = self.cache.migrated_entries
+        return payload
+
+    def _trace(self, name: str, job: Job, **args: Any) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.instant(
+            "serve",
+            name,
+            time.time() - self._started,
+            track=f"serve:{job.request.kind}",
+            job=job.id,
+            key=job.key[:12],
+            queue_depth=len(self._inflight),
+            **args,
+        )

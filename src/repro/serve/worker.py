@@ -1,0 +1,238 @@
+"""Worker-process side of the compile farm.
+
+:func:`execute_request` is the single entry point a
+:class:`~repro.pool.GracefulPool` worker runs.  It is deliberately a
+module-level function over plain-JSON payloads: task dicts in, result
+dicts out, so nothing but builtins crosses the process boundary (no
+pickled schedules, no live topology objects).
+
+Each worker process keeps **one** :class:`~repro.cache.ScheduleCache`
+per cache directory for its whole life (:func:`_cache_for`): the memory
+tier warms up across tasks, while the shared disk tier makes results
+visible to the service front-end and to sibling workers.  Per-task
+cache-counter deltas (:meth:`~repro.cache.CacheStats.since`) ride back
+on every result so the service can aggregate totals that sum correctly.
+
+Stage-level progress is spooled, not returned: when the task names a
+``spool`` path, a :class:`~repro.trace.profile.CompileProfiler` with an
+``on_enter`` callback appends one JSON line per compiler stage as it
+starts, and the service tails that file to stream live progress to
+clients while the compilation is still running.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Mapping
+
+from repro.cache import ScheduleCache, schedule_cache_key
+from repro.core.compiler import compile_schedule
+from repro.core.pipeline import verdict_code
+from repro.errors import SchedulingError
+from repro.experiments.setup import ExperimentSetup, standard_setup
+from repro.mapping.allocation import (
+    bfs_allocation,
+    random_allocation,
+    sequential_allocation,
+)
+from repro.serve.jobs import JobRequest
+from repro.tfg import dvb_tfg
+from repro.topology import make_topology
+from repro.trace.profile import CompileProfiler
+
+__all__ = ["build_setup", "execute_request"]
+
+#: One long-lived cache per (process, cache directory).
+_CACHES: dict[str, ScheduleCache] = {}
+
+
+def _cache_for(cache_dir: str | None) -> ScheduleCache | None:
+    if cache_dir is None:
+        return None
+    cache = _CACHES.get(cache_dir)
+    if cache is None:
+        cache = _CACHES[cache_dir] = ScheduleCache(cache_dir)
+    return cache
+
+
+def _allocator(request: JobRequest) -> Any:
+    """The placement function a request names (mirrors the CLI)."""
+    if request.allocator == "sequential":
+        return sequential_allocation
+    if request.allocator == "bfs":
+        return bfs_allocation
+    if request.allocator == "random":
+        return lambda tfg, topo: random_allocation(tfg, topo, request.seed)
+    from repro.mapping.annealing import annealed_allocation
+
+    return lambda tfg, topo: annealed_allocation(tfg, topo, seed=request.seed)
+
+
+def build_setup(request: JobRequest) -> tuple[ExperimentSetup, float]:
+    """Materialize the problem instance a request names.
+
+    Deterministic: the same request always yields the same (timing,
+    topology, allocation, tau_in), which is what lets the service
+    compute cache keys in the front-end while workers rebuild the
+    identical instance on their side.
+    """
+    setup = standard_setup(
+        dvb_tfg(request.models),
+        make_topology(request.topology),
+        request.bandwidth,
+        allocator=_allocator(request),
+    )
+    return setup, setup.tau_in_for_load(request.load)
+
+
+class _Spool:
+    """Append-only JSON-lines progress writer (one line per event).
+
+    Lines are flushed immediately so the service can tail the file
+    while the compilation runs.  Write failures are swallowed: progress
+    is best-effort and must never abort the stage it observes (the
+    profiler-callback contract).
+    """
+
+    def __init__(self, path: str | None):
+        self._handle: IO[str] | None = None
+        if path is not None:
+            try:
+                self._handle = open(path, "a", encoding="utf-8")
+            except OSError:
+                self._handle = None
+
+    def emit(self, event: str, **args: Any) -> None:
+        if self._handle is None:
+            return
+        try:
+            payload: dict[str, Any] = {"event": event}
+            payload.update(args)
+            self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            self._handle.flush()
+        except (OSError, TypeError, ValueError):  # pragma: no cover
+            self._handle = None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+
+def _compile_result(
+    request: JobRequest,
+    setup: ExperimentSetup,
+    tau_in: float,
+    cache: ScheduleCache | None,
+    spool: _Spool,
+) -> dict[str, Any]:
+    """Run a ``compile`` (or the compile half of a ``check``) task."""
+    profiler = CompileProfiler(
+        on_enter=lambda name, detail: spool.emit(
+            "stage", stage=name, **detail
+        ),
+        on_stage=lambda sp: spool.emit(
+            "stage-done", stage=sp.stage, wall_ms=round(sp.wall_ms, 3)
+        ),
+    )
+    try:
+        routing = compile_schedule(
+            setup.timing,
+            setup.topology,
+            setup.allocation,
+            tau_in,
+            request.compiler_config(),
+            profiler=profiler,
+            cache=cache,
+        )
+    except SchedulingError as error:
+        return {
+            "feasible": False,
+            "verdict": verdict_code(error),
+            "error_type": type(error).__name__,
+            "detail": str(error),
+            "tau_in": tau_in,
+        }
+    result: dict[str, Any] = {
+        "feasible": True,
+        "verdict": "OK",
+        "tau_in": tau_in,
+        "utilization": routing.utilization.peak,
+        "subsets": len(routing.subsets),
+        "commands": routing.schedule.num_commands,
+        "nodes": len(routing.schedule.node_schedules),
+        "attempts": routing.attempts,
+        "cache_hit": bool(routing.extra.get("cache", {}).get("hit", False)),
+    }
+    if routing.extra.get("solver_stats") is not None:
+        result["solver_stats"] = dict(routing.extra["solver_stats"])
+    profile = routing.extra.get("compile_profile")
+    if profile is not None and profile.stages:
+        result["profile"] = profile.to_dict()
+    if request.kind == "check":
+        from repro.check import analyze_schedule
+
+        report = analyze_schedule(
+            routing.schedule,
+            setup.topology,
+            timing=setup.timing,
+            allocation=setup.allocation,
+            sync_margin=request.compiler_config().sync_margin,
+        )
+        result["check"] = report.to_dict()
+        if not report.ok:
+            result["verdict"] = "CHK"
+    return result
+
+
+def _diagnose_result(
+    request: JobRequest,
+    setup: ExperimentSetup,
+    tau_in: float,
+    cache: ScheduleCache | None,
+    spool: _Spool,
+) -> dict[str, Any]:
+    from repro.diagnose import diagnose_instance
+
+    spool.emit("stage", stage="diagnose")
+    diagnosis = diagnose_instance(
+        setup.timing,
+        setup.topology,
+        setup.allocation,
+        tau_in,
+        sync_margin=request.compiler_config().sync_margin,
+        cache=cache,
+    )
+    return {
+        "feasible": not diagnosis.refuted,
+        "verdict": "REF" if diagnosis.refuted else "OK",
+        "tau_in": tau_in,
+        "diagnosis": diagnosis.to_dict(),
+    }
+
+
+def execute_request(task: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one farm task; the pool's target function.
+
+    ``task`` carries the request's canonical form plus the shared cache
+    directory and an optional progress-spool path.  The returned dict is
+    JSON-able end to end and always includes ``cache_stats`` — this
+    task's cache-counter *deltas* for the service to aggregate.
+    """
+    request = JobRequest.from_canonical(task["request"])
+    cache = _cache_for(task.get("cache_dir"))
+    before = cache.stats.snapshot() if cache is not None else None
+    spool = _Spool(task.get("spool"))
+    try:
+        setup, tau_in = build_setup(request)
+        if request.kind == "diagnose":
+            result = _diagnose_result(request, setup, tau_in, cache, spool)
+        else:
+            result = _compile_result(request, setup, tau_in, cache, spool)
+    finally:
+        spool.close()
+    if cache is not None and before is not None:
+        result["cache_stats"] = cache.stats.since(before)
+    return result

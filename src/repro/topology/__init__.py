@@ -27,12 +27,20 @@ from repro.topology.hypercube import binary_hypercube
 from repro.topology.mesh import Mesh
 from repro.topology.routing import links_on_path, lsd_to_msd_route, validate_path
 from repro.topology.paths import enumerate_minimal_paths, sample_minimal_path
+from repro.topology.registry import (
+    STANDARD_TOPOLOGIES,
+    TOPOLOGY_ALIASES,
+    make_topology,
+    topology_names,
+)
 from repro.topology.torus import Torus
 
 __all__ = [
     "GeneralizedHypercube",
     "Link",
     "Mesh",
+    "STANDARD_TOPOLOGIES",
+    "TOPOLOGY_ALIASES",
     "Topology",
     "TopologySummary",
     "Torus",
@@ -42,8 +50,10 @@ __all__ = [
     "link_between",
     "links_on_path",
     "lsd_to_msd_route",
+    "make_topology",
     "ring_allocation",
     "sample_minimal_path",
     "summarize",
+    "topology_names",
     "validate_path",
 ]

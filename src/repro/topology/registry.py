@@ -1,0 +1,56 @@
+"""The registry of standard 64-node machines.
+
+The paper's evaluation (and every CLI/service entry point in this repo)
+works over four canonical 64-node interconnects.  This module gives
+them stable wire names so that the CLI, the serve farm's HTTP requests
+and the load generator all resolve ``"hypercube6"`` (or a paper-style
+alias like ``"6cube"``) to the same machine without importing each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.topology.base import Topology
+from repro.topology.ghc import GeneralizedHypercube
+from repro.topology.hypercube import binary_hypercube
+from repro.topology.torus import Torus
+
+#: Canonical machine name -> factory.
+STANDARD_TOPOLOGIES: dict[str, Callable[[], Topology]] = {
+    "hypercube6": lambda: binary_hypercube(6),
+    "ghc444": lambda: GeneralizedHypercube((4, 4, 4)),
+    "torus8x8": lambda: Torus((8, 8)),
+    "torus4x4x4": lambda: Torus((4, 4, 4)),
+}
+
+#: Paper-style shorthand accepted anywhere a topology name is.
+TOPOLOGY_ALIASES: dict[str, str] = {
+    "6cube": "hypercube6",
+    "cube6": "hypercube6",
+    "8x8torus": "torus8x8",
+    "4x4x4torus": "torus4x4x4",
+}
+
+
+def topology_names() -> list[str]:
+    """Every accepted name: canonical names plus aliases, sorted."""
+    return sorted(STANDARD_TOPOLOGIES) + sorted(TOPOLOGY_ALIASES)
+
+
+def make_topology(name: str) -> Topology:
+    """Resolve a topology name (canonical or alias) to a fresh instance.
+
+    Raises :class:`KeyError` with the accepted names for unknown input —
+    callers validating untrusted wire payloads turn that into a 400.
+    """
+    canonical = TOPOLOGY_ALIASES.get(name, name)
+    try:
+        factory = STANDARD_TOPOLOGIES[canonical]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; expected one of "
+            f"{', '.join(topology_names())}"
+        ) from None
+    return factory()

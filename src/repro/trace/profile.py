@@ -10,12 +10,31 @@ text table or as ``compile``-category trace events alongside a run trace.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.trace.tracer import TraceEvent
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a stage-detail value into a JSON-representable one.
+
+    Stage details are almost always numbers and strings; anything
+    exotic (tuples, sets, objects) is flattened so profiles can cross
+    process boundaries as JSON instead of pickles.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(v) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -30,6 +49,24 @@ class StageProfile:
     def describe_detail(self) -> str:
         """``key=value`` rendering of the stage detail."""
         return " ".join(f"{k}={v}" for k, v in self.detail.items())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (wire transfer, progress events)."""
+        return {
+            "stage": self.stage,
+            "wall_ms": self.wall_ms,
+            "start_ms": self.start_ms,
+            "detail": {k: _json_safe(v) for k, v in self.detail.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StageProfile":
+        return cls(
+            stage=str(payload["stage"]),
+            wall_ms=float(payload["wall_ms"]),
+            start_ms=float(payload["start_ms"]),
+            detail=dict(payload.get("detail", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +100,31 @@ class CompileProfile:
             title="compile profile",
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload: ``{"stages": [...]}``."""
+        return {"stages": [stage.to_dict() for stage in self.stages]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompileProfile":
+        return cls(
+            stages=tuple(
+                StageProfile.from_dict(s) for s in payload.get("stages", ())
+            )
+        )
+
+    def to_json(self) -> str:
+        """The profile as a JSON document (wire transfer, artifacts).
+
+        Round-trips exactly through :meth:`from_json`: every field —
+        including per-stage LP tallies like ``lp_wall_ms`` — survives,
+        so results can cross process boundaries without pickling.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, document: str) -> "CompileProfile":
+        return cls.from_dict(json.loads(document))
+
     def trace_events(self) -> list[TraceEvent]:
         """The profile as ``compile``-category spans (wall-clock us,
         re-based to the profiler's start) for the Chrome exporter."""
@@ -84,30 +146,55 @@ class CompileProfiler:
 
     Nested/repeated stage names are fine (retry attempts, per-subset
     LP solves each record their own row).
+
+    Parameters
+    ----------
+    on_enter:
+        Called with ``(stage_name, detail)`` the moment a stage starts —
+        the progress hook of the staged pipeline
+        (:mod:`repro.core.pipeline`): every stage wraps itself in
+        :meth:`stage`, so a callback here observes the compilation
+        stage-by-stage as it runs.  The serve farm streams these as
+        live job progress events.
+    on_stage:
+        Called with the completed :class:`StageProfile` when a stage
+        finishes (including its late detail and LP tallies).
+
+    Callbacks run on the compiling thread/process; they must not raise
+    (an exception would abort the stage it observes).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        on_enter: Callable[[str, Mapping[str, Any]], None] | None = None,
+        on_stage: Callable[[StageProfile], None] | None = None,
+    ) -> None:
         self._origin = time.perf_counter()
         self._stages: list[StageProfile] = []
+        self._on_enter = on_enter
+        self._on_stage = on_stage
 
     @contextmanager
     def stage(self, name: str, **detail: Any) -> Iterator[dict]:
         """Profile one stage; mutate the yielded dict to add late detail
         (sizes known only after the stage body ran)."""
         late: dict[str, Any] = dict(detail)
+        if self._on_enter is not None:
+            self._on_enter(name, dict(late))
         start = time.perf_counter()
         try:
             yield late
         finally:
             end = time.perf_counter()
-            self._stages.append(
-                StageProfile(
-                    stage=name,
-                    wall_ms=(end - start) * 1000.0,
-                    start_ms=(start - self._origin) * 1000.0,
-                    detail=late,
-                )
+            profile = StageProfile(
+                stage=name,
+                wall_ms=(end - start) * 1000.0,
+                start_ms=(start - self._origin) * 1000.0,
+                detail=late,
             )
+            self._stages.append(profile)
+            if self._on_stage is not None:
+                self._on_stage(profile)
 
     @property
     def profile(self) -> CompileProfile:

@@ -63,6 +63,13 @@ Event taxonomy (``category`` values)
     certificate at the start of its witness window, on a
     ``diagnose:<kind>`` track, with demand / capacity / links /
     messages in ``args``.
+``serve``
+    Compile-farm request lifecycle
+    (:class:`repro.serve.CompileService`): ``enqueue`` / ``admit`` /
+    ``reject`` / ``dispatch`` / ``complete`` / ``coalesce`` / ``fail``
+    instants on a ``serve:<kind>`` track, timed in wall-clock seconds
+    since service start, each carrying the job id, cache-key prefix and
+    the in-flight queue depth in ``args``.
 """
 
 from __future__ import annotations

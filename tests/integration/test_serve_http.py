@@ -1,0 +1,191 @@
+"""End-to-end farm tests over real HTTP (ServerThread + ServeClient).
+
+The daemon runs in a background thread on an ephemeral port; requests
+run the *real* compiler on small DVB instances (sub-second compiles),
+so these tests cover the whole stack: HTTP parsing, job lifecycle,
+admission control, the result memo, and event streaming.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+FAST = {
+    "kind": "compile",
+    "topology": "hypercube6",
+    "bandwidth": 128,
+    "models": 3,
+    "load": 0.25,
+}
+
+REFUTED = {
+    "kind": "compile",
+    "topology": "hypercube6",
+    "bandwidth": 64,
+    "models": 16,
+    "load": 1.0,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(workers=0)) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient("127.0.0.1", server.port, timeout=120) as c:
+        yield c
+
+
+def test_healthz(client):
+    body = client.healthz()
+    assert body["ok"] is True
+    assert body["draining"] is False
+
+
+def test_submit_wait_compiles_and_memoizes(client):
+    status, body = client.submit(FAST, wait=True)
+    assert status == 200
+    assert body["state"] == "done"
+    assert body["result"]["feasible"] is True
+    assert body["result"]["verdict"] == "OK"
+    assert body["result"]["utilization"] > 0
+
+    # Same instance again: fast path, new job id, same answer.
+    status2, body2 = client.submit(FAST, wait=True)
+    assert status2 == 200
+    assert body2["id"] != body["id"]
+    assert body2["state"] == "done"
+    assert body2["result"]["utilization"] == body["result"]["utilization"]
+    assert body2["result"]["subsets"] == body["result"]["subsets"]
+    stats = client.stats()
+    assert stats["service"]["fast_hits"] >= 1
+
+
+def test_submit_nowait_then_poll(client):
+    payload = {**FAST, "models": 4}
+    status, body = client.submit(payload)
+    assert status in (200, 202)
+    job_id = body["id"]
+    # Poll until terminal (compile takes well under the client timeout).
+    import time
+
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        status, snap = client.job(job_id)
+        assert status == 200
+        if snap["state"] in ("done", "rejected", "failed"):
+            break
+        time.sleep(0.05)
+    assert snap["state"] == "done"
+    # The snapshot carries the stage progress mirrored from the worker.
+    names = [e["event"] for e in snap["events"]] if "events" in snap else []
+    # /v1/jobs/<id> omits events; the dedicated stream endpoint has them.
+    events = list(client.events(job_id))
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "enqueue"
+    assert "stage" in kinds  # worker progress reached the stream
+    assert kinds[-1] == "done"
+    del names
+
+
+def test_event_stream_replays_for_finished_job(client):
+    status, body = client.submit(FAST, wait=True)
+    assert status == 200
+    events = list(client.events(body["id"]))
+    assert events and events[-1]["event"] == body["state"]
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs)
+
+
+def test_refuted_instance_rejected_with_certificates(client):
+    status, body = client.submit(REFUTED, wait=True)
+    assert status == 200
+    assert body["state"] == "rejected"
+    assert body["result"]["verdict"] == "REF"
+    diagnosis = body["result"]["diagnosis"]
+    assert diagnosis["refuted"] is True
+    assert diagnosis["refutations"]
+
+
+def test_diagnose_kind_returns_diagnosis(client):
+    status, body = client.submit({**FAST, "kind": "diagnose"}, wait=True)
+    assert status == 200
+    assert body["state"] == "done"
+    assert body["result"]["diagnosis"]["refuted"] is False
+
+
+def test_check_kind_attaches_conformance_report(client):
+    status, body = client.submit({**FAST, "kind": "check"}, wait=True)
+    assert status == 200
+    assert body["state"] == "done"
+    report = body["result"]["check"]
+    assert report["ok"] is True
+    assert report["checks"]
+
+
+def test_malformed_payloads_get_400(client):
+    for payload in (
+        {"topology": "nope", "load": 0.5},
+        {"topology": "hypercube6"},
+        {"topology": "hypercube6", "load": 7},
+    ):
+        status, body = client.submit(payload)
+        assert status == 400
+        assert "error" in body
+    # Unparseable JSON body is also a 400, not a connection reset.
+    conn = client._connection()
+    conn.request(
+        "POST", "/v1/jobs", body=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    assert response.status == 400
+    response.read()
+
+
+def test_unknown_job_and_route(client):
+    status, _body = client.job("job-999999")
+    assert status == 404
+    status, _body = client.request("GET", "/v1/nothing-here")
+    assert status == 404
+    status, _body = client.request("DELETE", "/v1/jobs")
+    assert status == 405
+
+
+def test_stats_shape(client):
+    stats = client.stats()
+    assert {"uptime_s", "workers", "queue_depth", "service", "cache"} <= (
+        stats.keys()
+    )
+    service = stats["service"]
+    assert service["submitted"] >= service["completed"]
+    assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 0
+
+
+def test_worker_pool_mode_round_trip(tmp_path):
+    """The real ProcessPool path: compile in a child, stats persisted."""
+    config = ServeConfig(workers=2, cache_dir=tmp_path / "cache")
+    with ServerThread(config) as thread:
+        with ServeClient("127.0.0.1", thread.port, timeout=180) as client:
+            status, body = client.submit(FAST, wait=True)
+            assert status == 200
+            assert body["state"] == "done"
+            assert body["result"]["feasible"] is True
+            # A duplicate is answered without a second child dispatch.
+            status2, body2 = client.submit(FAST, wait=True)
+            assert status2 == 200 and body2["state"] == "done"
+            stats = client.stats()
+            assert stats["service"]["dispatched"] == 1
+            assert stats["service"]["fast_hits"] == 1
+    # Drain persisted the merged cache counters next to the entries.
+    persisted = json.loads(
+        (tmp_path / "cache" / "cache-stats.json").read_text()
+    )
+    assert persisted["stores"] >= 1

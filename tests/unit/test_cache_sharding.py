@@ -1,0 +1,97 @@
+"""Shard layout, flat-entry migration, and multi-process cache stats."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ScheduleCache,
+    persist_cache_stats,
+)
+from repro.errors import SchedulingError, UtilizationExceededError
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _failure_entry(message: str) -> dict:
+    return {
+        "format": CACHE_VERSION,
+        "kind": "failure",
+        "type": "UtilizationExceededError",
+        "stage": "utilization",
+        "message": message,
+        "args": {"peak": 1.5, "witness": "link (0, 1)"},
+    }
+
+
+def test_disk_entries_are_sharded_by_key_prefix(tmp_path):
+    cache = ScheduleCache(tmp_path)
+    key = _key("point-a")
+    cache.store_failure(key, UtilizationExceededError(1.5))
+    assert (tmp_path / key[:2] / f"{key}.json").is_file()
+    assert not (tmp_path / f"{key}.json").exists()
+
+
+def test_flat_layout_migrates_on_open(tmp_path):
+    """Pre-shard entries move into shard dirs and stay fetchable."""
+    keys = [_key(f"legacy-{i}") for i in range(4)]
+    for key in keys:
+        (tmp_path / f"{key}.json").write_text(
+            json.dumps(_failure_entry(f"legacy {key[:6]}"))
+        )
+    # Non-key files must be left alone.
+    (tmp_path / "cache-stats.json").write_text("{}")
+    (tmp_path / "notes.json").write_text("{}")
+
+    cache = ScheduleCache(tmp_path)
+    assert cache.migrated_entries == 4
+    for key in keys:
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+        assert not (tmp_path / f"{key}.json").exists()
+        with pytest.raises(SchedulingError):
+            cache.fetch(key)
+    assert (tmp_path / "cache-stats.json").exists()
+    assert (tmp_path / "notes.json").exists()
+
+
+def test_migration_is_idempotent(tmp_path):
+    key = _key("once")
+    (tmp_path / f"{key}.json").write_text(json.dumps(_failure_entry("x")))
+    assert ScheduleCache(tmp_path).migrated_entries == 1
+    assert ScheduleCache(tmp_path).migrated_entries == 0
+
+
+def test_stats_snapshot_since_merge():
+    stats = CacheStats()
+    stats.hits, stats.misses = 3, 2
+    before = stats.snapshot()
+    stats.hits += 4
+    stats.stores += 1
+    delta = stats.since(before)
+    assert delta == {"hits": 4, "misses": 0, "stores": 1, "invalidations": 0}
+
+    totals = CacheStats()
+    totals.merge(delta)
+    totals.merge(delta)
+    assert totals.hits == 8 and totals.stores == 2
+    totals.merge(stats)
+    assert totals.hits == 8 + 7
+
+
+def test_persist_cache_stats_writes_atomic_json(tmp_path):
+    stats = CacheStats(hits=9, misses=1, stores=1)
+    path = persist_cache_stats(tmp_path / "cache", stats)
+    assert path is not None and path.name == "cache-stats.json"
+    payload = json.loads(path.read_text())
+    assert payload["hits"] == 9
+    assert payload["hit_rate"] == 0.9
+    # Mapping input and None input are accepted too.
+    assert persist_cache_stats(tmp_path / "cache", {"hits": 1, "misses": 1})
+    assert persist_cache_stats(tmp_path / "cache", None) is None

@@ -1,0 +1,128 @@
+"""JSON round-trips for the wire-crossing result types.
+
+The serve farm ships profiles, conformance reports and diagnoses
+between worker processes and clients as JSON — these tests pin that
+``to_json``/``from_json`` is lossless for every such type.
+"""
+
+from __future__ import annotations
+
+from repro.check.analyzer import ConformanceReport, Finding
+from repro.diagnose.certificates import Diagnosis, Refutation
+from repro.trace.profile import CompileProfile, StageProfile
+
+
+def test_stage_profile_round_trip():
+    stage = StageProfile(
+        stage="allocate+schedule[2]",
+        wall_ms=12.5,
+        start_ms=40.25,
+        detail={"messages": 7, "lp_wall_ms": 3.5, "subset": ["a", "b"]},
+    )
+    back = StageProfile.from_dict(stage.to_dict())
+    assert back.stage == stage.stage
+    assert back.wall_ms == stage.wall_ms
+    assert back.start_ms == stage.start_ms
+    assert dict(back.detail) == {
+        "messages": 7,
+        "lp_wall_ms": 3.5,
+        "subset": ["a", "b"],
+    }
+
+
+def test_compile_profile_json_round_trip():
+    profile = CompileProfile(
+        stages=(
+            StageProfile("prescreen", 1.0, 0.0, {"checks": 5}),
+            StageProfile("time-bounds", 2.0, 1.0, {}),
+            StageProfile(
+                "assign-paths", 8.0, 3.0, {"seed": 3, "paths": (1, 2)}
+            ),
+        )
+    )
+    back = CompileProfile.from_json(profile.to_json())
+    assert [s.stage for s in back.stages] == [
+        "prescreen", "time-bounds", "assign-paths",
+    ]
+    assert back.total_ms == profile.total_ms
+    # Tuples flatten to lists (JSON), values otherwise unchanged.
+    assert back.stages[2].detail["paths"] == [1, 2]
+    # Round-tripping the round-trip is a fixed point.
+    assert CompileProfile.from_json(back.to_json()).to_json() == back.to_json()
+
+
+def test_profile_exotic_detail_values_are_json_safe():
+    profile = CompileProfile(
+        stages=(
+            StageProfile(
+                "x", 1.0, 0.0,
+                {"set": {3, 1, 2}, "obj": object(), "none": None},
+            ),
+        )
+    )
+    back = CompileProfile.from_json(profile.to_json())
+    detail = back.stages[0].detail
+    assert detail["set"] == [1, 2, 3]
+    assert isinstance(detail["obj"], str)  # repr fallback
+    assert detail["none"] is None
+
+
+def test_conformance_report_json_round_trip():
+    report = ConformanceReport(
+        tau_in=24.0,
+        findings=(
+            Finding(
+                "error", "link-overlap", "two slots overlap",
+                message="M3", link=(0, 1), span=(1.5, 2.5),
+            ),
+            Finding("warning", "idle-link", "link never used", node=7),
+        ),
+        checks=("link-overlap", "deadline", "idle-link"),
+    )
+    back = ConformanceReport.from_json(report.to_json())
+    assert back.tau_in == 24.0
+    assert back.ok == report.ok is False
+    assert back.checks == report.checks
+    first, second = back.findings
+    assert first.link == (0, 1) and first.span == (1.5, 2.5)
+    assert first.message == "M3"
+    assert second.node == 7 and second.link is None and second.span is None
+    assert back.to_json() == report.to_json()
+
+
+def test_conformance_report_empty_round_trip():
+    report = ConformanceReport(tau_in=10.0, checks=("link-overlap",))
+    back = ConformanceReport.from_json(report.to_json())
+    assert back.ok and back.findings == ()
+
+
+def test_refutation_json_round_trip():
+    refutation = Refutation(
+        kind="link-overload",
+        detail="forced link saturated",
+        messages=("M1", "M2"),
+        links=((3, 7),),
+        window=(0.0, 12.0),
+        demand=14.0,
+        capacity=12.0,
+    )
+    back = Refutation.from_json(refutation.to_json())
+    assert back == refutation
+
+
+def test_diagnosis_json_round_trip():
+    diagnosis = Diagnosis(
+        tau_in=16.0,
+        refutations=(
+            Refutation(kind="period", detail="tau_in below tau_c",
+                       demand=20.0, capacity=16.0),
+            Refutation(kind="lp-farkas", detail="assignment LP infeasible",
+                       scope="assignment"),
+        ),
+        checks=("window", "link-overload"),
+        elapsed_ms=3.25,
+    )
+    back = Diagnosis.from_json(diagnosis.to_json())
+    assert back == diagnosis
+    assert back.refuted  # instance-scoped certificate survived
+    assert back.to_json() == diagnosis.to_json()

@@ -1,0 +1,107 @@
+"""Load-generator unit surface: mix determinism, payload validity, gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import BadRequest, JobRequest
+from repro.serve.loadgen import (
+    DUPLICATE,
+    MALFORMED,
+    REFUTED,
+    _percentile,
+    build_mix,
+    check_gates,
+    cold_payloads,
+    malformed_payloads,
+    refuted_payloads,
+)
+
+
+def test_cold_payloads_are_distinct_and_valid():
+    payloads = cold_payloads(6)
+    assert len(payloads) == 6
+    signatures = {
+        JobRequest.from_payload(p).instance_signature() for p in payloads
+    }
+    assert len(signatures) == 6  # all distinct instances
+    with pytest.raises(ValueError):
+        cold_payloads(100)
+
+
+def test_refuted_payloads_are_valid_requests():
+    for payload in refuted_payloads(4):
+        request = JobRequest.from_payload(payload)
+        assert request.models == 16 and request.load == 1.0
+
+
+def test_malformed_payloads_all_fail_validation():
+    for payload in malformed_payloads():
+        with pytest.raises(BadRequest):
+            JobRequest.from_payload(payload)
+
+
+def test_build_mix_is_seed_deterministic():
+    cold = cold_payloads(6)
+    first = build_mix(500, seed=42, cold=cold)
+    again = build_mix(500, seed=42, cold=cold)
+    other = build_mix(500, seed=43, cold=cold)
+    assert first == again
+    assert first != other
+    assert len(first) == 500 - len(cold)
+
+
+def test_build_mix_class_shares():
+    cold = cold_payloads(6)
+    mix = build_mix(1006, seed=0, cold=cold,
+                    refuted_share=0.10, malformed_share=0.02)
+    counts = {cls: 0 for cls in (DUPLICATE, REFUTED, MALFORMED)}
+    for cls, _payload in mix:
+        counts[cls] += 1
+    assert counts[REFUTED] == 100
+    assert counts[MALFORMED] == 20
+    assert counts[DUPLICATE] == 880
+    # Every duplicate names a cold instance (warm cache by construction).
+    cold_sigs = {
+        JobRequest.from_payload(p).instance_signature() for p in cold
+    }
+    for cls, payload in mix:
+        if cls == DUPLICATE:
+            sig = JobRequest.from_payload(payload).instance_signature()
+            assert sig in cold_sigs
+
+
+def test_build_mix_rejects_total_below_cold_set():
+    with pytest.raises(ValueError):
+        build_mix(3, seed=0, cold=cold_payloads(6))
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 102)]  # 1..101, odd length
+    assert _percentile(values, 0.50) == 51.0  # true median
+    assert _percentile(values, 0.99) == 100.0
+    assert _percentile(values, 1.0) == 101.0
+    assert _percentile([7.0], 0.99) == 7.0
+    assert _percentile([], 0.5) == 0.0
+
+
+def _report(**overrides):
+    report = {
+        "cache_hit_rate": 0.95,
+        "http_5xx": 0,
+        "duplicate_p99_over_cold_p99": 0.05,
+    }
+    report.update(overrides)
+    return report
+
+
+def test_check_gates_pass_and_fail():
+    assert check_gates(_report(), 0.9, 0, 0.1) == []
+    violations = check_gates(
+        _report(cache_hit_rate=0.5, http_5xx=3,
+                duplicate_p99_over_cold_p99=0.5),
+        0.9, 0, 0.1,
+    )
+    assert len(violations) == 3
+    # None disables a gate.
+    assert check_gates(_report(http_5xx=9), 0.9, None, 0.1) == []

@@ -1,0 +1,307 @@
+"""CompileService semantics: single-flight, fast path, admission, firewall.
+
+Each test boots a real service (inline ``workers=0`` mode) inside a
+private event loop; the worker callable is monkeypatched through the
+``service._execute`` indirection where the real compiler would only
+add noise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serve.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_REJECTED,
+    BadRequest,
+)
+from repro.serve.service import CompileService, ServeConfig
+from repro.trace.tracer import TraceRecorder
+
+PAYLOAD = {
+    "kind": "compile",
+    "topology": "hypercube6",
+    "bandwidth": 128,
+    "models": 4,
+    "load": 0.25,
+}
+
+#: A hopeless instance the static diagnoser refutes (cut overload).
+REFUTED = {
+    "kind": "compile",
+    "topology": "hypercube6",
+    "bandwidth": 64,
+    "models": 16,
+    "load": 1.0,
+}
+
+
+def _service(tmp_path=None, **overrides) -> CompileService:
+    config = ServeConfig(
+        workers=0,
+        cache_dir=None if tmp_path is None else tmp_path / "cache",
+        **overrides,
+    )
+    return CompileService(config)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_submit_executes_and_completes():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            calls = []
+
+            def fake(task):
+                calls.append(task)
+                return {"feasible": True, "verdict": "OK"}
+
+            service._execute = fake
+            job = service.submit(PAYLOAD)
+            assert await job.wait(timeout=10)
+            assert job.state == JOB_DONE
+            assert job.result == {"feasible": True, "verdict": "OK"}
+            assert len(calls) == 1
+            task = calls[0]
+            assert task["request"]["models"] == 4
+            assert task["cache_dir"] == str(service.cache_dir)
+            assert service.stats.dispatched == 1
+            assert service.stats.completed == 1
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_malformed_payload_raises_bad_request():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            with pytest.raises(BadRequest):
+                service.submit({"kind": "compile"})  # missing everything
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_single_flight_coalesces_concurrent_duplicates():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            release = asyncio.Event()
+
+            def slow(task):
+                # Block the worker thread until the test releases it.
+                while not release.is_set():
+                    time.sleep(0.005)
+                return {"feasible": True, "verdict": "OK"}
+
+            service._execute = slow
+            first = service.submit(PAYLOAD)
+            await asyncio.sleep(0.05)  # let it dispatch
+            second = service.submit(PAYLOAD)
+            third = service.submit(PAYLOAD)
+            assert second is first and third is first
+            assert first.coalesced == 2
+            release.set()
+            assert await first.wait(timeout=10)
+            assert service.stats.dispatched == 1  # one solve, three callers
+            assert service.stats.coalesced == 2
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_finished_duplicates_hit_result_memo():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            service._execute = lambda task: {"feasible": True, "verdict": "OK"}
+            first = service.submit(PAYLOAD)
+            assert await first.wait(timeout=10)
+            second = service.submit(PAYLOAD)
+            # New job object, same answer, no second dispatch.
+            assert second is not first
+            assert second.terminal
+            assert second.result == first.result
+            assert second.events[-1].get("fast_path") is True
+            assert service.stats.fast_hits == 1
+            assert service.stats.dispatched == 1
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_admission_rejects_refuted_instance_before_dispatch():
+    async def run():
+        tracer = TraceRecorder(categories={"serve"})
+        service = CompileService(ServeConfig(workers=0), tracer=tracer)
+        service.start()
+        try:
+            def boom(task):  # pragma: no cover - must never run
+                raise AssertionError("refuted instance reached a worker")
+
+            service._execute = boom
+            job = service.submit(REFUTED)
+            assert await job.wait(timeout=60)
+            assert job.state == JOB_REJECTED
+            assert job.result["verdict"] == "REF"
+            assert job.result["diagnosis"]["refuted"] is True
+            assert job.result["diagnosis"]["refutations"]
+            assert service.stats.rejected == 1
+            assert service.stats.dispatched == 0
+            names = {e.name for e in tracer.events}
+            assert "reject" in names and "dispatch" not in names
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_admission_disabled_dispatches_everything():
+    async def run():
+        service = _service(admission=False)
+        service.start()
+        try:
+            service._execute = lambda task: {"feasible": False, "verdict": "REF"}
+            job = service.submit(REFUTED)
+            assert await job.wait(timeout=10)
+            assert job.state == JOB_DONE  # worker answered, not admission
+            assert service.stats.dispatched == 1
+            assert service.stats.rejected == 0
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_worker_exception_is_firewalled_to_failed():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            def boom(task):
+                raise RuntimeError("worker exploded")
+
+            service._execute = boom
+            job = service.submit(PAYLOAD)
+            assert await job.wait(timeout=10)
+            assert job.state == JOB_FAILED
+            assert job.error == {
+                "type": "RuntimeError",
+                "detail": "worker exploded",
+            }
+            assert service.stats.failed == 1
+            # The flight is gone: a retry dispatches again (memo replays
+            # the failure only via the documented fast path).
+            second = service.submit(PAYLOAD)
+            assert second.terminal and second.state == JOB_FAILED
+            assert service.stats.fast_hits == 1
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_spool_progress_events_reach_job():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            def worker_with_progress(task):
+                with open(task["spool"], "a") as handle:
+                    for stage in ("prescreen", "time-bounds"):
+                        handle.write(
+                            json.dumps({"event": "stage", "stage": stage})
+                            + "\n"
+                        )
+                time.sleep(0.08)  # give the 20ms tail a chance to pump
+                return {"feasible": True, "verdict": "OK"}
+
+            service._execute = worker_with_progress
+            job = service.submit(PAYLOAD)
+            assert await job.wait(timeout=10)
+            stages = [
+                e["stage"] for e in job.events if e["event"] == "stage"
+            ]
+            assert stages == ["prescreen", "time-bounds"]
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_worker_cache_deltas_merge_into_service_stats():
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            service._execute = lambda task: {
+                "feasible": True,
+                "verdict": "OK",
+                "cache_stats": {"hits": 2, "misses": 1, "stores": 1,
+                                "invalidations": 0},
+            }
+            job = service.submit(PAYLOAD)
+            assert await job.wait(timeout=10)
+            assert "cache_stats" not in job.result  # consumed, not leaked
+            assert service.stats.worker_cache.hits == 2
+            snapshot = service.stats_snapshot()
+            assert snapshot["cache"]["stores"] >= 1
+            assert snapshot["service"]["completed"] == 1
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
+def test_shutdown_persists_cache_stats(tmp_path):
+    async def run():
+        service = _service(tmp_path)
+        service.start()
+        try:
+            service._execute = lambda task: {
+                "feasible": True,
+                "verdict": "OK",
+                "cache_stats": {"hits": 3, "misses": 1, "stores": 1,
+                                "invalidations": 0},
+            }
+            job = service.submit(PAYLOAD)
+            assert await job.wait(timeout=10)
+        finally:
+            await service.shutdown()
+        stats_file = tmp_path / "cache" / "cache-stats.json"
+        assert stats_file.is_file()
+        payload = json.loads(stats_file.read_text())
+        assert payload["hits"] >= 3  # worker delta made it to disk
+        # Persistent cache dir survives shutdown (only ephemeral ones go).
+        assert (tmp_path / "cache").is_dir()
+
+    _run(run())
+
+
+def test_ephemeral_cache_removed_on_shutdown():
+    async def run():
+        service = _service()
+        service.start()
+        cache_dir = service.cache_dir
+        assert cache_dir is not None and cache_dir.is_dir()
+        await service.shutdown()
+        assert not cache_dir.exists()
+
+    _run(run())
