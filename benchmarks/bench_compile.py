@@ -1,0 +1,189 @@
+"""Compiler raw speed: the standard 20-point matrix, compiled cold.
+
+The workload is the trajectory's standard grid — the DVB TFG (5 object
+models) on ``{6-cube, GHC(4,4,4)}`` at bandwidth 128 across a 10-point
+load sweep — with every point compiled from scratch (no schedule
+cache).  The report lands in ``BENCH_compile.json`` at the repo root
+(the file EXPERIMENTS.md quotes) and the run asserts two gates:
+
+- total cold wall time stays within the pinned budget times
+  ``BENCH_COMPILE_HEADROOM`` (default 1.5 — CI machines are noisy);
+- the verdict row is exactly the pinned one (all 20 points feasible) —
+  a perf regression that changes *verdicts* is a correctness bug, not
+  a slowdown.
+
+One-time import/JIT costs (scipy, the HiGHS engine probe) are warmed
+up before timing so the number tracks compiler throughput, not
+interpreter start-up; the pinned ``baseline_wall_s`` was measured the
+same way on the pre-sparse-rewrite tree.
+
+Run standalone (``python benchmarks/bench_compile.py``), through
+pytest-benchmark (``pytest benchmarks/bench_compile.py``), or with
+``BENCH_COMPILE_UPDATE=1`` to re-pin the budget after an intentional
+perf change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import COMPILER
+from repro.core.compiler import compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments.setup import standard_setup
+from repro.metrics import load_sweep
+from repro.tfg import dvb_tfg
+from repro.topology import GeneralizedHypercube, binary_hypercube
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
+
+#: Wall-time slack multiplier for the CI gate.
+HEADROOM = float(os.environ.get("BENCH_COMPILE_HEADROOM", "1.5"))
+
+BANDWIDTH = 128.0
+LOADS = tuple(load_sweep(10))
+
+#: Cold wall of this exact sweep on the pre-sparse-rewrite tree
+#: (dense per-coefficient assembly, one linprog call per LP), measured
+#: with the same warmed-import methodology.
+BASELINE_WALL_S = 8.02
+
+
+def _topologies():
+    return [binary_hypercube(6), GeneralizedHypercube((4, 4, 4))]
+
+
+def _warmup() -> None:
+    """Pay one-time import and engine-probe costs outside the timer."""
+    from repro.solvers import get_backend
+    from repro.solvers.base import LPProblemBuilder
+
+    builder = LPProblemBuilder(1)
+    builder.set_objective([0], [1.0])
+    builder.add_eq_rows([1.0], rows=[0], cols=[0], values=[1.0])
+    get_backend().solve(builder.build())
+
+
+def _run() -> dict:
+    _warmup()
+    tfg = dvb_tfg(5)
+    verdicts: list[str] = []
+    tallies: dict[str, int | float] = {}
+    began = time.perf_counter()
+    for topology in _topologies():
+        setup = standard_setup(tfg, topology, BANDWIDTH)
+        for load in LOADS:
+            try:
+                routing = compile_schedule(
+                    setup.timing,
+                    setup.topology,
+                    setup.allocation,
+                    setup.tau_in_for_load(load),
+                    COMPILER,
+                )
+            except SchedulingError as error:
+                verdicts.append(type(error).__name__)
+                continue
+            verdicts.append("OK")
+            for key, value in routing.extra["solver_stats"].items():
+                if isinstance(value, (int, float)):
+                    tallies[key] = round(tallies.get(key, 0) + value, 3)
+    wall_s = round(time.perf_counter() - began, 3)
+    return {
+        "workload": {
+            "tfg": "dvb(5 models)",
+            "topologies": [t.name for t in _topologies()],
+            "bandwidth": BANDWIDTH,
+            "loads": [round(load, 4) for load in LOADS],
+            "config": {
+                "seed": COMPILER.seed,
+                "max_paths": COMPILER.max_paths,
+                "max_restarts": COMPILER.max_restarts,
+                "retries": COMPILER.retries,
+            },
+        },
+        "points": len(verdicts),
+        "verdicts": verdicts,
+        "wall_s": wall_s,
+        "baseline_wall_s": BASELINE_WALL_S,
+        "speedup_vs_baseline": round(BASELINE_WALL_S / wall_s, 2),
+        "solver_totals": tallies,
+    }
+
+
+def _pinned() -> dict | None:
+    if not OUT.exists():
+        return None
+    return json.loads(OUT.read_text())
+
+
+def _check(report: dict, pinned: dict | None) -> list[str]:
+    violations = []
+    if pinned is not None:
+        budget = pinned["wall_s"] * HEADROOM
+        if report["wall_s"] > budget:
+            violations.append(
+                f"cold wall {report['wall_s']}s exceeds the pinned budget "
+                f"{pinned['wall_s']}s x {HEADROOM} headroom = {budget:.2f}s"
+            )
+        if report["verdicts"] != pinned["verdicts"]:
+            violations.append(
+                "verdict drift against the pinned matrix: "
+                f"{report['verdicts']} != {pinned['verdicts']}"
+            )
+    if report["speedup_vs_baseline"] < 5.0:
+        violations.append(
+            f"speedup {report['speedup_vs_baseline']}x vs the dense "
+            f"baseline ({BASELINE_WALL_S}s) is below the required 5x"
+        )
+    return violations
+
+
+def _summarize(report: dict) -> str:
+    totals = report["solver_totals"]
+    return "\n".join([
+        f"points          {report['points']} "
+        f"({report['verdicts'].count('OK')} feasible)",
+        f"cold wall       {report['wall_s']} s",
+        f"baseline        {report['baseline_wall_s']} s (dense assembly)",
+        f"speedup         {report['speedup_vs_baseline']}x",
+        f"lp solves       {totals.get('lp_solves', 0)} "
+        f"({totals.get('lp_batched_solves', 0)} in "
+        f"{totals.get('lp_batches', 0)} stitched batches)",
+        f"lp wall         {totals.get('lp_wall_ms', 0.0)} ms",
+    ])
+
+
+def _finish(report: dict) -> list[str]:
+    if os.environ.get("BENCH_COMPILE_UPDATE") == "1" or not OUT.exists():
+        OUT.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"budget pinned to {OUT}")
+        return _check(report, None)
+    return _check(report, _pinned())
+
+
+def test_compile_speed(benchmark):
+    report = benchmark.pedantic(_run, rounds=1)
+    print()
+    print(_summarize(report))
+    violations = _finish(report)
+    assert not violations, "; ".join(violations)
+
+
+def main() -> int:
+    report = _run()
+    print(_summarize(report))
+    violations = _finish(report)
+    for violation in violations:
+        print(f"GATE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,12 +93,23 @@ def canonical_config(config: "CompilerConfig") -> dict[str, Any]:
     verbatim to the other.  Canonicalizing also unifies
     ``key("auto") == key(resolved)`` within one environment, which is
     what content addressing promises.
+
+    Solver *performance* knobs added after the cache format shipped
+    (``lp_batch``, ``lp_warm_start``) are elided while at their default
+    values: they change how fast the LPs are solved, not which schedule
+    comes out, so a default-config key must keep hashing identically to
+    pre-knob caches.  A non-default value is still hashed (perturbing it
+    yields a different key, preserving completeness).
     """
     from repro.solvers import default_backend_name
 
     fields = asdict(config)
     if fields.get("lp_backend") == "auto":
         fields["lp_backend"] = default_backend_name()
+    if fields.get("lp_batch") is True:
+        del fields["lp_batch"]
+    if fields.get("lp_warm_start") is False:
+        del fields["lp_warm_start"]
     return fields
 
 

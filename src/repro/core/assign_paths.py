@@ -155,10 +155,12 @@ def _descend(
         reposition_move: tuple[str, list[int]] | None = None
         for name in candidates:
             current_path = state.assignment.path(name)
-            for path in pools[name]:
-                if tuple(path) == current_path:
-                    continue
-                outcome = state.evaluate_reroute(name, path)
+            pool = [
+                path for path in pools[name] if tuple(path) != current_path
+            ]
+            for path, outcome in zip(
+                pool, state.evaluate_reroutes(name, pool)
+            ):
                 if outcome.value < best_value - EPS:
                     best_value = outcome.value
                     best_move = (name, path)

@@ -84,6 +84,19 @@ class CompilerConfig:
         :func:`repro.solvers.get_backend`): ``"auto"`` (default —
         scipy's HiGHS when available, the pure-Python reference simplex
         otherwise), ``"highs"``, ``"highs-ds"`` or ``"reference"``.
+    lp_batch:
+        When True (default), the independent per-interval packing LPs
+        of interval scheduling are solved through the backend's
+        ``solve_batch`` — one block-diagonal HiGHS solve per
+        column-generation round instead of one solve per interval.
+        Verdicts and generated columns are identical either way; this
+        only changes solver wall time.  At its default this knob does
+        not alter cache keys.
+    lp_warm_start:
+        When True, the backend caches optimal bases by problem
+        structure and warm-starts structurally identical solves
+        (matrix cells differing only in load).  Off by default; at its
+        default this knob does not alter cache keys.
     prescreen:
         When True, run the static instance diagnoser
         (:mod:`repro.diagnose`) before any path assignment or LP work
@@ -104,6 +117,8 @@ class CompilerConfig:
     sync_margin: float = 0.0
     lp_backend: str = "auto"
     prescreen: bool = False
+    lp_batch: bool = True
+    lp_warm_start: bool = False
 
 
 @dataclass
@@ -180,7 +195,7 @@ def compile_schedule(
         if hit is not None:
             return hit
 
-    backend = get_backend(config.lp_backend)
+    backend = get_backend(config.lp_backend, warm_start=config.lp_warm_start)
     context = CompilationContext(
         tau_in=tau_in,
         config=config,
@@ -243,7 +258,9 @@ def schedule_from_assignment(
     """
     profiler = profiler if profiler is not None else NULL_PROFILER
     if backend is None:
-        backend = get_backend(config.lp_backend)
+        backend = get_backend(
+            config.lp_backend, warm_start=config.lp_warm_start
+        )
     context = CompilationContext(
         tau_in=tau_in,
         config=config,
@@ -280,6 +297,9 @@ def _package(context: CompilationContext) -> ScheduledRouting:
             "lp_iterations": tally.iterations,
             "lp_wall_ms": round(tally.wall_ms, 3),
             "lp_failures": tally.failures,
+            "lp_batches": tally.batches,
+            "lp_batched_solves": tally.batched_solves,
+            "lp_warm_started": tally.warm_started,
             "max_variables": tally.max_variables,
             "max_constraints": tally.max_constraints,
         }

@@ -32,6 +32,7 @@ from repro.solvers import (
     LP_TOL,
     LPBackend,
     LPProblem,
+    LPProblemBuilder,
     exceeds_tolerance,
     get_backend,
 )
@@ -182,83 +183,135 @@ def build_allocation_problem(
     wants — an infeasible ray then combines *actual* capacities, not
     scaled ones.
     """
-    lengths = bounds.intervals.lengths
+    lengths = np.asarray(bounds.intervals.lengths, dtype=np.float64)
+    num_k = int(lengths.size)
+
     # Variable layout: one x per (message, active interval) [, then z].
-    variables: list[tuple[str, int]] = []
-    for name in subset:
-        for k in bounds.active_intervals(name):
-            variables.append((name, k))
-    var_index = {v: i for i, v in enumerate(variables)}
-    num_x = len(variables)
+    # Row-major nonzero of the subset's activity slice enumerates the
+    # pairs message-by-message with intervals ascending — exactly the
+    # legacy per-message loop order.
+    sub_rows = np.array(
+        [bounds.index[name] for name in subset], dtype=np.int64
+    )
+    sub_activity = bounds.activity[sub_rows] if subset else np.zeros(
+        (0, num_k), dtype=bool
+    )
+    msg_of_var, var_ks = np.nonzero(sub_activity)
+    num_x = int(var_ks.size)
+    counts = sub_activity.sum(axis=1).astype(np.int64)
+    var_starts = np.zeros(len(subset) + 1, dtype=np.int64)
+    np.cumsum(counts, out=var_starts[1:])
+    variables = tuple(
+        (subset[int(i)], int(k)) for i, k in zip(msg_of_var, var_ks)
+    )
     num_cols = num_x if fixed_capacity else num_x + 1
     z_index = num_x
 
-    # Equality (3): per message, allocations sum to its duration.
-    a_eq = np.zeros((len(subset), num_cols))
-    b_eq = np.zeros(len(subset))
-    for row, name in enumerate(subset):
-        for k in bounds.active_intervals(name):
-            a_eq[row, var_index[(name, k)]] = 1.0
-        b_eq[row] = bounds.bounds[name].duration
+    builder = LPProblemBuilder(num_cols)
+
+    # Equality (3): per message, allocations sum to its duration.  The
+    # variable ids of message i are the contiguous block
+    # var_starts[i]:var_starts[i+1], so the whole system is one scatter.
+    durations = np.array(
+        [bounds.bounds[name].duration for name in subset], dtype=np.float64
+    )
+    builder.add_eq_rows(
+        durations,
+        rows=msg_of_var,
+        cols=np.arange(num_x, dtype=np.int64),
+        values=np.ones(num_x),
+    )
 
     # Inequality (4): per (link, interval), sum of allocations bounded
-    # by the interval length (scaled by z in the compiler's form).
-    rows: list[np.ndarray] = []
-    b_rows: list[float] = []
-    row_labels: list[tuple[str, Link | None, int]] = []
-    links_seen: dict[tuple[Link, int], list[int]] = {}
+    # by the interval length (scaled by z in the compiler's form).  Each
+    # (link, interval) pair is encoded as link_id * K + k; rows keep the
+    # legacy first-appearance order over the message → link → interval
+    # traversal, and duplicate (row, column) hits collapse to a single
+    # 1.0 coefficient (the legacy dense assembly's set semantics).
+    link_ids: dict[Link, int] = {}
+    per_msg_links: list[np.ndarray] = []
     for name in subset:
-        for link in assignment.links(name):
-            for k in bounds.active_intervals(name):
-                links_seen.setdefault((link, k), []).append(
-                    var_index[(name, k)]
-                )
-    for (link, k), columns in links_seen.items():
-        row = np.zeros(num_cols)
-        row[columns] = 1.0
-        if fixed_capacity:
-            b_rows.append(lengths[k])
-        else:
-            row[z_index] = -lengths[k]
-            b_rows.append(0.0)
-        rows.append(row)
-        row_labels.append(("link", link, k))
+        ids = [
+            link_ids.setdefault(link, len(link_ids))
+            for link in assignment.links(name)
+        ]
+        per_msg_links.append(np.asarray(ids, dtype=np.int64))
+    link_of_id = list(link_ids)
+
+    code_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    for i in range(len(subset)):
+        lids = per_msg_links[i]
+        k_i = var_ks[var_starts[i] : var_starts[i + 1]]
+        if lids.size == 0 or k_i.size == 0:
+            continue
+        code_parts.append(
+            np.repeat(lids * num_k, k_i.size) + np.tile(k_i, lids.size)
+        )
+        col_parts.append(
+            np.tile(
+                np.arange(var_starts[i], var_starts[i + 1], dtype=np.int64),
+                lids.size,
+            )
+        )
+
+    row_labels: list[tuple[str, Link | None, int]] = []
+    if code_parts:
+        codes = np.concatenate(code_parts)
+        cols = np.concatenate(col_parts)
+        uniq_codes, first_pos, inverse = np.unique(
+            codes, return_index=True, return_inverse=True
+        )
+        appearance = np.argsort(first_pos, kind="stable")
+        rank = np.empty(appearance.size, dtype=np.int64)
+        rank[appearance] = np.arange(appearance.size)
+        entry_rows = rank[inverse]
+        pair = entry_rows * np.int64(num_cols) + cols
+        _, keep = np.unique(pair, return_index=True)
+        row_codes = uniq_codes[appearance]
+        row_ks = row_codes % num_k
+        num_link_rows = int(row_codes.size)
+        rhs = lengths[row_ks] if fixed_capacity else np.zeros(num_link_rows)
+        builder.add_ub_rows(
+            rhs,
+            rows=entry_rows[keep],
+            cols=cols[keep],
+            values=np.ones(keep.size),
+        )
+        if not fixed_capacity:
+            builder.add_ub_entries(
+                np.arange(num_link_rows, dtype=np.int64),
+                np.full(num_link_rows, z_index, dtype=np.int64),
+                -lengths[row_ks],
+            )
+        row_labels.extend(
+            ("link", link_of_id[int(code) // num_k], int(code) % num_k)
+            for code in row_codes
+        )
+
     # Feedback caps: total subset allocation into interval k <= cap.
     for k, cap in (interval_caps or {}).items():
-        columns = [
-            var_index[(name, k)]
-            for name in subset
-            if (name, k) in var_index
-        ]
-        if not columns:
+        columns = np.flatnonzero(var_ks == k)
+        if columns.size == 0:
             continue
-        row = np.zeros(num_cols)
-        row[columns] = 1.0
-        rows.append(row)
-        b_rows.append(max(cap, 0.0))
+        builder.add_ub_rows(
+            [max(cap, 0.0)],
+            rows=np.zeros(columns.size, dtype=np.int64),
+            cols=columns,
+            values=np.ones(columns.size),
+        )
         row_labels.append(("cap", None, k))
-    a_ub = np.vstack(rows) if rows else None
-    b_ub = np.asarray(b_rows) if rows else None
 
     # Objective: minimise z (constant in the feasibility form).  x is
     # bounded by interval lengths (a message cannot transmit longer
-    # than the interval it sits in).
-    c = np.zeros(num_cols)
-    x_bounds = [(0.0, lengths[k]) for (_, k) in variables]
+    # than the interval it sits in); z keeps the default [0, inf).
+    builder.set_upper(np.arange(num_x, dtype=np.int64), lengths[var_ks])
     if not fixed_capacity:
-        c[z_index] = 1.0
-        x_bounds.append((0.0, None))
+        builder.set_objective([z_index], [1.0])
 
     return AllocationProblem(
-        problem=LPProblem(
-            c=c,
-            a_ub=a_ub,
-            b_ub=b_ub,
-            a_eq=a_eq,
-            b_eq=b_eq,
-            bounds=x_bounds,
-        ),
-        variables=tuple(variables),
+        problem=builder.build(),
+        variables=variables,
         eq_messages=tuple(subset),
         ub_rows=tuple(row_labels),
         fixed_capacity=fixed_capacity,

@@ -373,6 +373,7 @@ class IntervalStage:
                     interval_allocation,
                     context.bounds.intervals.lengths,
                     backend=context.backend,
+                    batch=context.config.lp_batch,
                 )
                 return interval_allocation, schedules
             except IntervalSchedulingError as error:

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.assignment import PathAssignment
 from repro.core.timebounds import MessageTimeBounds, TimeBoundSet
 from repro.topology.base import Link
+from repro.topology.routing import links_on_path
 from repro.units import EPS
 
 #: Witness kinds for the peak position.
@@ -177,6 +178,13 @@ class UtilizationState:
         # interval k (its duration minus the capacity of its other active
         # intervals); zero when inactive in k.
         self.forced = forced_load_matrix(bounds)
+        # Per-message active interval ids (paths are simple, so a
+        # message's links are distinct — fancy indexing below is safe).
+        self._active_ks = [
+            np.flatnonzero(bounds.activity[i])
+            for i in range(len(bounds.order))
+        ]
+        self._rows_memo: dict[tuple[Link, ...], np.ndarray] = {}
         # Per-link state.  window_time and spot_max are incremental
         # caches: recomputing them from the (L x K) matrices on every
         # candidate-reroute evaluation dominated AssignPaths' cost on
@@ -191,26 +199,40 @@ class UtilizationState:
 
     # -- incremental maintenance ----------------------------------------
 
-    def _apply(self, name: str, links: tuple[Link, ...], sign: int) -> None:
-        i = self.bounds.index[name]
-        activity = self.bounds.activity[i]
-        for link in links:
-            j = self.link_index[link]
-            self.total_time[j] += sign * self.durations[i]
-            before = self.active_count[j, activity]
-            self.active_count[j, activity] += sign
-            after = self.active_count[j, activity]
-            # Window time changes where the count crosses zero.
-            if sign > 0:
-                gained = self.lengths[activity][before == 0].sum()
-                self.window_time[j] += gained
-            else:
-                lost = self.lengths[activity][after == 0].sum()
-                self.window_time[j] -= lost
-            self.spot_load[j] += sign * self.forced[i]
-            self.spot_max[j] = float(
-                (self.spot_load[j] / self.lengths).max()
+    def _link_rows(self, links: tuple[Link, ...]) -> np.ndarray:
+        """Row ids of a path's links (memoised per link tuple)."""
+        rows = self._rows_memo.get(links)
+        if rows is None:
+            rows = np.fromiter(
+                (self.link_index[link] for link in links),
+                dtype=np.int64,
+                count=len(links),
             )
+            self._rows_memo[links] = rows
+        return rows
+
+    def _apply(self, name: str, links: tuple[Link, ...], sign: int) -> None:
+        if not links:
+            return
+        i = self.bounds.index[name]
+        js = self._link_rows(links)
+        ks = self._active_ks[i]
+        self.total_time[js] += sign * self.durations[i]
+        block = self.active_count[np.ix_(js, ks)] + sign
+        self.active_count[np.ix_(js, ks)] = block
+        # Window time changes where the count crosses zero.
+        if sign > 0:
+            self.window_time[js] += (
+                self.lengths[ks] * (block == 1)
+            ).sum(axis=1)
+        else:
+            self.window_time[js] -= (
+                self.lengths[ks] * (block == 0)
+            ).sum(axis=1)
+        self.spot_load[js] += sign * self.forced[i]
+        self.spot_max[js] = (
+            self.spot_load[js] / self.lengths[None, :]
+        ).max(axis=1)
 
     def reroute(self, name: str, new_path: list[int]) -> None:
         """Move a message to a new path, updating utilisation state."""
@@ -240,26 +262,135 @@ class UtilizationState:
         Otherwise the peak is the largest link utilisation — the quantity
         the paper's Figs. 5/6 plot.
         """
-        link_u = self.link_utilizations()
+        return self._peak_from(
+            self.total_time,
+            self.window_time,
+            self.spot_max,
+            lambda j: self.spot_load[j],
+        )
+
+    def _peak_from(self, total_time, window_time, spot_max, spot_row):
+        """Peak witness over (possibly hypothetical) per-link arrays."""
+        link_u = np.zeros_like(total_time)
+        loaded = window_time > EPS
+        link_u[loaded] = total_time[loaded] / window_time[loaded]
         j_link = int(np.argmax(link_u))
         best_link = float(link_u[j_link])
-        j_spot = int(np.argmax(self.spot_max))
-        best_spot = float(self.spot_max[j_spot])
+        j_spot = int(np.argmax(spot_max))
+        best_spot = float(spot_max[j_spot])
         if best_spot >= best_link - EPS and best_spot > 1.0 + EPS:
-            k_spot = int(np.argmax(self.spot_load[j_spot] / self.lengths))
+            k_spot = int(np.argmax(spot_row(j_spot) / self.lengths))
             return PeakWitness(
                 best_spot, KIND_SPOT, self.link_list[j_spot], k_spot
             )
         return PeakWitness(best_link, KIND_LINK, self.link_list[j_link], -1)
 
     def evaluate_reroute(self, name: str, new_path: list[int]) -> PeakWitness:
-        """Peak utilisation if ``name`` moved to ``new_path`` (state is
-        restored before returning)."""
-        old_path = list(self.assignment.path(name))
-        self.reroute(name, new_path)
-        witness = self.peak()
-        self.reroute(name, old_path)
-        return witness
+        """Peak utilisation if ``name`` moved to ``new_path``.
+
+        Pure: no state is mutated and no path validation runs.
+        """
+        return self.evaluate_reroutes(name, [new_path])[0]
+
+    def evaluate_reroutes(
+        self, name: str, paths: list[list[int]]
+    ) -> list[PeakWitness]:
+        """Peak witnesses for moving ``name`` to each candidate path.
+
+        The AssignPaths inner loop evaluates every alternative path of a
+        peak-crossing message; doing the whole pool in one call turns
+        per-candidate bookkeeping into a handful of (C x L) array
+        operations.  Pure: the candidate per-link quantities are computed
+        from signed link deltas against the current state, which is
+        never touched.
+        """
+        if not paths:
+            return []
+        i = self.bounds.index[name]
+        old_links = self.assignment.links(name)
+        old_set = set(old_links)
+        C = len(paths)
+        L = self.total_time.size
+        # delta[c, j] is -1 when candidate c leaves link j, +1 when it
+        # newly crosses it, 0 otherwise (links shared by both paths).
+        delta = np.zeros((C, L), dtype=np.int8)
+        for c, path in enumerate(paths):
+            new_links = links_on_path(path)
+            new_set = set(new_links)
+            delta[
+                c,
+                self._link_rows(
+                    tuple(l for l in old_links if l not in new_set)
+                ),
+            ] = -1
+            delta[
+                c,
+                self._link_rows(
+                    tuple(l for l in new_links if l not in old_set)
+                ),
+            ] = 1
+        added = delta > 0
+        removed = delta < 0
+
+        # Adding/removing one message changes each link's window time and
+        # spot maximum in only two possible ways, so both variants are
+        # precomputed per link and selected by the delta sign.
+        ks = self._active_ks[i]
+        lengths_k = self.lengths[ks]
+        counts_k = self.active_count[:, ks]
+        gained_if_added = (lengths_k[None, :] * (counts_k == 0)).sum(axis=1)
+        lost_if_removed = (lengths_k[None, :] * (counts_k == 1)).sum(axis=1)
+        ratios = self.lengths[None, :]
+        spot_if_added = (
+            (self.spot_load + self.forced[i][None, :]) / ratios
+        ).max(axis=1)
+        spot_if_removed = (
+            (self.spot_load - self.forced[i][None, :]) / ratios
+        ).max(axis=1)
+
+        total = self.total_time[None, :] + delta * self.durations[i]
+        window = (
+            self.window_time[None, :]
+            + np.where(added, gained_if_added[None, :], 0.0)
+            - np.where(removed, lost_if_removed[None, :], 0.0)
+        )
+        spot_max = np.where(
+            added,
+            spot_if_added[None, :],
+            np.where(removed, spot_if_removed[None, :], self.spot_max[None, :]),
+        )
+
+        link_u = np.zeros_like(total)
+        loaded = window > EPS
+        np.divide(total, window, out=link_u, where=loaded)
+        j_link = link_u.argmax(axis=1)
+        best_link = link_u[np.arange(C), j_link]
+        j_spot = spot_max.argmax(axis=1)
+        best_spot = spot_max[np.arange(C), j_spot]
+
+        witnesses: list[PeakWitness] = []
+        for c in range(C):
+            if (
+                best_spot[c] >= best_link[c] - EPS
+                and best_spot[c] > 1.0 + EPS
+            ):
+                j = int(j_spot[c])
+                row = self.spot_load[j] + delta[c, j] * self.forced[i]
+                k_spot = int(np.argmax(row / self.lengths))
+                witnesses.append(
+                    PeakWitness(
+                        float(best_spot[c]), KIND_SPOT, self.link_list[j],
+                        k_spot,
+                    )
+                )
+            else:
+                witnesses.append(
+                    PeakWitness(
+                        float(best_link[c]), KIND_LINK,
+                        self.link_list[int(j_link[c])], -1,
+                    )
+                )
+        return witnesses
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,16 @@ allocation and interval scheduling) obtain their solver through
 >>> backend = get_backend("auto")   # highs when scipy exists, else reference
 >>> solution = backend.solve(problem)
 
+Problems are assembled sparsely through
+:class:`~repro.solvers.base.LPProblemBuilder` (COO triplets, CSR
+storage); backends additionally expose ``solve_batch`` (independent
+problems stitched into one block-diagonal solve where the backend
+supports it) and warm starts (``solution.warm_start`` handles, or
+``get_backend(name, warm_start=True)`` for automatic basis reuse across
+structurally identical problems).  Passing dense matrix fields to
+``solve()`` still works behind a one-release ``DeprecationWarning``
+shim.
+
 Backend names
 -------------
 ``auto``
@@ -35,11 +45,14 @@ import importlib.util
 
 from repro.solvers.base import (
     LP_TOL,
+    CSRMatrix,
     LPBackend,
     LPProblem,
+    LPProblemBuilder,
     LPSolution,
     SolverTally,
     TalliedBackend,
+    WarmStart,
     exceeds_tolerance,
 )
 from repro.solvers.certificates import (
@@ -50,16 +63,19 @@ from repro.solvers.reference import ReferenceSimplexBackend
 from repro.solvers.scipy_backend import SCIPY_METHODS, ScipyLinprogBackend
 
 __all__ = [
+    "CSRMatrix",
     "FarkasCertificate",
     "LP_TOL",
     "LPBackend",
     "LPProblem",
+    "LPProblemBuilder",
     "LPSolution",
     "ReferenceSimplexBackend",
     "SCIPY_METHODS",
     "ScipyLinprogBackend",
     "SolverTally",
     "TalliedBackend",
+    "WarmStart",
     "available_backends",
     "default_backend_name",
     "exceeds_tolerance",
@@ -89,12 +105,17 @@ def available_backends() -> tuple[str, ...]:
     return ("reference",)
 
 
-def get_backend(name: str = "auto") -> LPBackend:
-    """Instantiate the named LP backend (see module docstring)."""
+def get_backend(name: str = "auto", warm_start: bool = False) -> LPBackend:
+    """Instantiate the named LP backend (see module docstring).
+
+    ``warm_start=True`` asks the backend to cache optimal bases keyed by
+    problem structure and reuse them for structurally identical solves
+    (HiGHS backends only; the reference simplex ignores it).
+    """
     if name == "auto":
         name = default_backend_name()
     if name in SCIPY_METHODS:
-        return ScipyLinprogBackend(method=name)
+        return ScipyLinprogBackend(method=name, warm_start_reuse=warm_start)
     if name == "reference":
         return ReferenceSimplexBackend()
     raise ValueError(

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.solvers.base import LP_TOL, LPBackend, LPProblem
+from repro.solvers.base import LP_TOL, LPBackend, LPProblem, LPProblemBuilder
 
 __all__ = ["FarkasCertificate", "infeasibility_certificate"]
 
@@ -52,29 +52,26 @@ def _shifted_arrays(
     the right-hand sides absorb the lower bounds and ``uppers`` are the
     shifted finite upper bounds of the variables in ``upper_indices``.
     """
+    problem = problem.canonical()
     n = problem.num_variables
-    lows = np.zeros(n)
-    upper_idx: list[int] = []
-    uppers: list[float] = []
-    if problem.bounds is not None:
-        for j, (low, high) in enumerate(problem.bounds):
-            lows[j] = float(low)
-            if high is not None:
-                upper_idx.append(j)
-                uppers.append(float(high) - float(low))
-    a_eq = np.asarray(problem.a_eq, dtype=float) if problem.a_eq is not None else None
+    bounds = problem.bounds
+    lows = bounds[:, 0].astype(float)
+    finite_upper = np.isfinite(bounds[:, 1])
+    upper_idx = np.flatnonzero(finite_upper)
+    uppers = bounds[upper_idx, 1] - lows[upper_idx]
+    a_eq = problem.a_eq.to_dense() if problem.a_eq is not None else None
     b_eq = (
         np.asarray(problem.b_eq, dtype=float) - a_eq @ lows
         if a_eq is not None
         else None
     )
-    a_ub = np.asarray(problem.a_ub, dtype=float) if problem.a_ub is not None else None
+    a_ub = problem.a_ub.to_dense() if problem.a_ub is not None else None
     b_ub = (
         np.asarray(problem.b_ub, dtype=float) - a_ub @ lows
         if a_ub is not None
         else None
     )
-    return a_eq, b_eq, a_ub, b_ub, np.asarray(upper_idx, dtype=int), np.asarray(uppers)
+    return a_eq, b_eq, a_ub, b_ub, upper_idx.astype(int), uppers
 
 
 @dataclass(frozen=True)
@@ -143,6 +140,7 @@ def infeasibility_certificate(
     prove at this precision (callers must treat ``None`` as "no
     verdict", never as "feasible").
     """
+    problem = problem.canonical()
     a_eq, b_eq, a_ub, b_ub, upper_idx, uppers = _shifted_arrays(problem)
     n = problem.num_variables
     m_eq = 0 if b_eq is None else len(b_eq)
@@ -163,29 +161,28 @@ def infeasibility_certificate(
     if m_up:
         c[m_eq + m_ub :] = uppers
 
-    rows = np.zeros((n, total))
+    # The aux constraint matrix is the transposed primal data, assembled
+    # as triplets: a COO entry (i, j, v) of A_eq becomes (j, i, v) here,
+    # one of A_ub becomes (j, m_eq + i, -v).
+    builder = LPProblemBuilder(total)
+    builder.set_objective_vector(c)
     if m_eq:
-        rows[:, :m_eq] = a_eq.T
-    if m_ub:
-        rows[:, m_eq : m_eq + m_ub] = -a_ub.T
-    for slot, j in enumerate(upper_idx):
-        rows[j, m_eq + m_ub + slot] = -1.0
-
-    bounds = (
-        [(-1.0, 1.0)] * m_eq
-        + [(0.0, 1.0)] * m_ub
-        + [(0.0, 1.0)] * m_up
-    )
-    solution = backend.solve(
-        LPProblem(
-            c=c,
-            a_ub=rows,
-            b_ub=np.zeros(n),
-            a_eq=None,
-            b_eq=None,
-            bounds=bounds,
+        builder.set_lower(np.arange(m_eq), np.full(m_eq, -1.0))
+    builder.set_upper(np.arange(total), np.ones(total))
+    builder.add_ub_rows(np.zeros(n))
+    if problem.a_eq is not None:
+        r, cc, v = problem.a_eq.coo()
+        builder.add_ub_entries(cc, r, v)
+    if problem.a_ub is not None:
+        r, cc, v = problem.a_ub.coo()
+        builder.add_ub_entries(cc, m_eq + r, -v)
+    if m_up:
+        builder.add_ub_entries(
+            upper_idx,
+            m_eq + m_ub + np.arange(m_up),
+            np.full(m_up, -1.0),
         )
-    )
+    solution = backend.solve(builder.build())
     if not solution.success:
         return None
     violation = -float(solution.objective)

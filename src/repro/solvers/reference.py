@@ -35,7 +35,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.solvers.base import LPProblem, LPSolution, TalliedBackend
+from repro.solvers.base import (
+    LPProblem,
+    LPSolution,
+    TalliedBackend,
+    WarmStart,
+    failure_solution,
+)
 
 #: Reduced costs above ``-_RCOST_TOL`` count as non-negative (optimal).
 _RCOST_TOL = 1e-9
@@ -123,31 +129,40 @@ class ReferenceSimplexBackend(TalliedBackend):
         super().__init__()
         self.max_iterations = max_iterations
 
-    def _solve(self, problem: LPProblem) -> LPSolution:
+    def _solve(
+        self, problem: LPProblem, warm_start: WarmStart | None = None
+    ) -> LPSolution:
+        # The dense tableau has no basis to seed: ``warm_start`` handles
+        # from other backends are accepted and ignored.
         c = np.asarray(problem.c, dtype=float)
         n = c.size
         lows = np.zeros(n)
         highs: list[float | None] = [None] * n
         if problem.bounds is not None:
-            for j, (low, high) in enumerate(problem.bounds):
-                low = 0.0 if low is None else float(low)
-                if not np.isfinite(low):
-                    return _failure("lower bounds must be finite")
-                lows[j] = low
-                highs[j] = None if high is None else float(high)
+            bounds = problem.bounds  # canonical (n, 2) array, ±inf open
+            if not np.all(np.isfinite(bounds[:, 0])):
+                return failure_solution("lower bounds must be finite")
+            lows = bounds[:, 0].astype(float).copy()
+            highs = [
+                None if np.isinf(high) else float(high)
+                for high in bounds[:, 1]
+            ]
 
-        # Shifted problem in x' = x - low >= 0.
+        # Shifted problem in x' = x - low >= 0.  The sparse constraint
+        # matrices are densified here: this backend is a dense tableau
+        # anyway, and ``to_dense()`` keeps its numerics bit-identical to
+        # the pre-sparse assembly.
         eq_rows: list[np.ndarray] = []
         eq_rhs: list[float] = []
         if problem.a_eq is not None:
-            a_eq = np.atleast_2d(np.asarray(problem.a_eq, dtype=float))
+            a_eq = problem.a_eq.to_dense()
             b_eq = np.asarray(problem.b_eq, dtype=float) - a_eq @ lows
             eq_rows = list(a_eq)
             eq_rhs = list(b_eq)
         ub_rows: list[np.ndarray] = []
         ub_rhs: list[float] = []
         if problem.a_ub is not None:
-            a_ub = np.atleast_2d(np.asarray(problem.a_ub, dtype=float))
+            a_ub = problem.a_ub.to_dense()
             b_ub = np.asarray(problem.b_ub, dtype=float) - a_ub @ lows
             ub_rows = list(a_ub)
             ub_rhs = list(b_ub)
@@ -162,7 +177,7 @@ class ReferenceSimplexBackend(TalliedBackend):
         num_ub = len(ub_rows)
         m = num_eq + num_ub
         if m == 0:
-            return _failure("a problem needs at least one constraint")
+            return failure_solution("a problem needs at least one constraint")
 
         # Column layout: [x' (n) | slacks (num_ub) | artificials (<= m)].
         # ``sign[i]`` records row negation so duals can be mapped back.
@@ -216,12 +231,12 @@ class ReferenceSimplexBackend(TalliedBackend):
                 if art_columns[j]
             )
             if status == "iterations":
-                return _failure(
+                return failure_solution(
                     "phase-1 iteration limit reached",
                     iterations=tableau.iterations,
                 )
             if infeasibility > _FEAS_TOL:
-                return _failure(
+                return failure_solution(
                     f"infeasible (artificial residual {infeasibility:.3e})",
                     iterations=tableau.iterations,
                 )
@@ -234,7 +249,7 @@ class ReferenceSimplexBackend(TalliedBackend):
             costs, ~art_columns, self.max_iterations
         )
         if status != "optimal":
-            return _failure(
+            return failure_solution(
                 f"phase-2 {status}", iterations=tableau.iterations
             )
 
@@ -252,11 +267,11 @@ class ReferenceSimplexBackend(TalliedBackend):
                 if original < num_eq:
                     col = n + num_ub + art_of_row[original]
                     duals[original] = -sign[original] * r[col]
-            dual_eq = tuple(float(v) for v in duals)
+            dual_eq = duals
 
         return LPSolution(
             success=True,
-            x=tuple(float(v) for v in x),
+            x=x,
             objective=float(c @ x),
             dual_eq=dual_eq,
             iterations=tableau.iterations,
@@ -292,14 +307,3 @@ def _expel_artificials(tableau: _Tableau, art_columns: np.ndarray) -> None:
         tableau.rhs = tableau.rhs[keep]
         tableau.basis = [tableau.basis[i] for i in keep]
     tableau.row_origin = keep
-
-
-def _failure(message: str, iterations: int = 0) -> LPSolution:
-    return LPSolution(
-        success=False,
-        x=(),
-        objective=0.0,
-        dual_eq=None,
-        iterations=iterations,
-        message=message,
-    )

@@ -13,7 +13,9 @@ import pytest
 from repro.solvers import (
     BACKEND_NAMES,
     LP_TOL,
+    CSRMatrix,
     LPProblem,
+    LPProblemBuilder,
     ReferenceSimplexBackend,
     ScipyLinprogBackend,
     SolverTally,
@@ -33,7 +35,7 @@ scipy_required = pytest.mark.skipif(
 
 def lp_transport():
     """min 2x + 3y  s.t.  x + y = 1, x,y >= 0  ->  x=1, obj=2, dual=2."""
-    return LPProblem(
+    return LPProblem.from_dense(
         c=np.array([2.0, 3.0]),
         a_eq=np.array([[1.0, 1.0]]),
         b_eq=np.array([1.0]),
@@ -43,7 +45,7 @@ def lp_transport():
 
 def lp_mixed():
     """Equalities, inequalities and finite upper bounds together."""
-    return LPProblem(
+    return LPProblem.from_dense(
         c=np.array([1.0, 2.0, 0.5]),
         a_ub=np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]]),
         b_ub=np.array([4.0, 5.0]),
@@ -55,7 +57,7 @@ def lp_mixed():
 
 def lp_shifted_bounds():
     """Non-zero lower bounds exercise the bound-shifting path."""
-    return LPProblem(
+    return LPProblem.from_dense(
         c=np.array([1.0, 1.0]),
         a_eq=np.array([[1.0, 2.0]]),
         b_eq=np.array([7.0]),
@@ -65,7 +67,7 @@ def lp_shifted_bounds():
 
 def lp_infeasible():
     """x >= 0 with x <= -1 cannot be satisfied."""
-    return LPProblem(
+    return LPProblem.from_dense(
         c=np.array([1.0]),
         a_ub=np.array([[1.0]]),
         b_ub=np.array([-1.0]),
@@ -75,7 +77,7 @@ def lp_infeasible():
 
 def lp_unbounded():
     """min -x  s.t.  x <= y, x,y >= 0 — the pair grows without bound."""
-    return LPProblem(
+    return LPProblem.from_dense(
         c=np.array([-1.0, 0.0]),
         a_ub=np.array([[1.0, -1.0]]),
         b_ub=np.array([0.0]),
@@ -132,10 +134,12 @@ class TestReferenceBackend:
         solution = ReferenceSimplexBackend().solve(problem)
         x = np.array(solution.x)
         assert np.all(problem.a_ub @ x <= problem.b_ub + 1e-8)
-        assert problem.a_eq @ x == pytest.approx(problem.b_eq, abs=1e-8)
+        assert problem.a_eq @ x == pytest.approx(
+            np.asarray(problem.b_eq), abs=1e-8
+        )
         for value, (low, high) in zip(x, problem.bounds):
             assert value >= low - 1e-8
-            assert high is None or value <= high + 1e-8
+            assert value <= high + 1e-8  # high is +inf when unbounded
 
     def test_infeasible_detected(self):
         solution = ReferenceSimplexBackend().solve(lp_infeasible())
@@ -202,6 +206,128 @@ class TestTally:
         snap = tally.snapshot()
         tally.solves = 5
         assert snap.solves == 3
+
+
+# -- the sparse builder / batch / warm-start API -------------------------------
+
+def _builder_mixed():
+    """lp_mixed() assembled through the sparse builder."""
+    builder = LPProblemBuilder(3)
+    builder.set_objective_vector([1.0, 2.0, 0.5])
+    builder.add_ub_rows(
+        [4.0, 5.0], rows=[0, 0, 1, 1], cols=[0, 2, 1, 2],
+        values=[1.0, 1.0, 1.0, 1.0],
+    )
+    builder.add_eq_rows([3.0], rows=[0, 0, 0], cols=[0, 1, 2],
+                        values=[1.0, 1.0, 1.0])
+    builder.set_upper([0, 2], [2.5, 2.0])
+    return builder.build()
+
+
+class TestSparseAPI:
+    def test_builder_matches_dense_assembly(self):
+        built = _builder_mixed()
+        dense = lp_mixed()
+        assert np.array_equal(built.a_ub.to_dense(), dense.a_ub.to_dense())
+        assert np.array_equal(built.a_eq.to_dense(), dense.a_eq.to_dense())
+        assert np.array_equal(np.asarray(built.c), np.asarray(dense.c))
+        assert np.array_equal(
+            np.asarray(built.bounds), np.asarray(dense.bounds)
+        )
+
+    def test_csr_round_trips_dense(self):
+        dense = np.array([[0.0, 2.0, 0.0], [1.0, 0.0, 3.0]])
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_coo_duplicates_sum(self):
+        csr = CSRMatrix.from_coo(
+            [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0], shape=(2, 2)
+        )
+        assert np.array_equal(
+            csr.to_dense(), np.array([[0.0, 5.0], [1.0, 0.0]])
+        )
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_builder_problem_solves(self, backend_name):
+        solution = get_backend(backend_name).solve(_builder_mixed())
+        assert solution.success
+        assert solution.objective == pytest.approx(2.0, abs=1e-7)
+
+    def test_dense_fields_warn_deprecation(self):
+        problem = LPProblem(
+            c=np.array([2.0, 3.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([1.0]),
+            bounds=[(0.0, None), (0.0, None)],
+        )
+        with pytest.warns(DeprecationWarning, match="dense matrix fields"):
+            solution = ReferenceSimplexBackend().solve(problem)
+        assert solution.success
+        assert solution.objective == pytest.approx(2.0, abs=1e-8)
+
+    def test_canonical_problems_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ReferenceSimplexBackend().solve(lp_transport())
+
+    def test_solution_arrays_read_only(self):
+        solution = ReferenceSimplexBackend().solve(lp_transport())
+        with pytest.raises(ValueError):
+            solution.x[0] = 99.0
+        with pytest.raises(ValueError):
+            solution.dual_eq[0] = 99.0
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_solve_batch_matches_sequential(self, backend_name):
+        problems = [lp_transport(), _builder_mixed(), lp_shifted_bounds()]
+        sequential = [
+            get_backend(backend_name).solve(problem) for problem in problems
+        ]
+        backend = get_backend(backend_name)
+        batched = backend.solve_batch(problems)
+        assert backend.tally.solves == len(problems)
+        for one, many in zip(sequential, batched):
+            assert one.success == many.success
+            assert one.objective == pytest.approx(many.objective, abs=1e-9)
+            assert np.asarray(one.x) == pytest.approx(
+                np.asarray(many.x), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_solve_batch_with_an_infeasible_block(self, backend_name):
+        backend = get_backend(backend_name)
+        solutions = backend.solve_batch([lp_transport(), lp_infeasible()])
+        assert solutions[0].success
+        assert not solutions[1].success
+        assert backend.tally.failures == 1
+
+    @scipy_required
+    def test_batch_tally_counts_stitched_solves(self):
+        backend = get_backend("highs")
+        backend.solve_batch([lp_transport(), _builder_mixed()])
+        assert backend.tally.batches == 1
+        assert backend.tally.batched_solves == 2
+
+    @scipy_required
+    def test_warm_start_reuses_basis(self):
+        backend = get_backend("highs", warm_start=True)
+        first = backend.solve(lp_mixed())
+        assert first.success
+        again = backend.solve(lp_mixed())
+        assert again.success
+        assert backend.tally.warm_started == 1
+        assert again.objective == pytest.approx(first.objective, abs=1e-12)
+
+    @scipy_required
+    def test_explicit_warm_start_handle(self):
+        backend = get_backend("highs")
+        first = backend.solve(lp_mixed())
+        assert first.warm_start is not None
+        again = backend.solve(lp_mixed(), warm_start=first.warm_start)
+        assert again.success
+        assert backend.tally.warm_started == 1
 
 
 # -- the shared tolerance band (satellite: magic 1.0000001 removal) ------------

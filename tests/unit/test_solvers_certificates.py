@@ -29,7 +29,7 @@ BACKENDS = available_backends()
 
 
 def closed_form_problem(duration: float = 0.8) -> LPProblem:
-    return LPProblem(
+    return LPProblem.from_dense(
         c=[0.0, 0.0],
         a_eq=[[1.0, 0.0], [0.0, 1.0]],
         b_eq=[duration, duration],
@@ -109,7 +109,7 @@ class TestExtraction:
 
     def test_upper_bound_conflict(self, backend_name):
         """x = 2 with 0 <= x <= 1: the ray must lean on the bound."""
-        problem = LPProblem(
+        problem = LPProblem.from_dense(
             c=[0.0],
             a_eq=[[1.0]],
             b_eq=[2.0],
