@@ -1,0 +1,296 @@
+"""Delta recompilation speed: warm artifact reuse vs cold compiles.
+
+The workload is the trajectory's standard 20-point grid — the DVB TFG
+(5 object models) on ``{6-cube, GHC(4,4,4)}`` at bandwidth 128 across a
+10-point load sweep.  Every point is first compiled cold into a shared
+artifact cache, then **one input element is perturbed** and the
+perturbed instance is compiled twice: once over the warm cache (the
+delta path — its monolithic key misses, per-stage artifacts serve the
+still-valid prefix) and once against an empty directory (the cold
+reference).  Two perturbation scenarios bracket the delta path:
+
+- ``link-drop`` — a link outside the union of every message's candidate
+  path pool is removed.  No artifact input changes, so the entire stage
+  prefix replays: this is the delta fast path.
+- ``size-scale`` — the first message's size is scaled by 0.75.  Time
+  bounds shift, so path assignment re-runs, but subsets not containing
+  the message replay from artifacts: partial reuse.
+
+The report lands in ``BENCH_delta.json`` at the repo root and the run
+asserts two gates:
+
+- the median delta/cold wall ratio across both scenarios stays at or
+  below **1/3** (the tentpole's acceptance bar), and
+- delta wall stays within the pinned budget times
+  ``BENCH_DELTA_HEADROOM`` (default 1.5), with verdict drift against
+  the pinned rows treated as a correctness bug.
+
+Run standalone (``python benchmarks/bench_delta.py``), through
+pytest-benchmark (``pytest benchmarks/bench_delta.py``), or with
+``BENCH_DELTA_UPDATE=1`` to re-pin after an intentional perf change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import COMPILER
+from repro.cache import ScheduleCache
+from repro.core.compiler import compile_schedule
+from repro.errors import SchedulingError
+from repro.experiments.setup import standard_setup
+from repro.faults.residual import ResidualTopology
+from repro.metrics import load_sweep
+from repro.tfg import dvb_tfg
+from repro.tfg.graph import TaskFlowGraph
+from repro.topology import GeneralizedHypercube, binary_hypercube
+from repro.topology.routing import links_on_path
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_delta.json"
+
+#: Wall-time slack multiplier for the CI gate.
+HEADROOM = float(os.environ.get("BENCH_DELTA_HEADROOM", "1.5"))
+
+#: The tentpole's acceptance bar: median delta wall <= cold wall / 3.
+MAX_MEDIAN_RATIO = 1.0 / 3.0
+
+BANDWIDTH = 128.0
+LOADS = tuple(load_sweep(10))
+
+
+def _topologies():
+    return [binary_hypercube(6), GeneralizedHypercube((4, 4, 4))]
+
+
+def _warmup() -> None:
+    from repro.solvers import get_backend
+    from repro.solvers.base import LPProblemBuilder
+
+    builder = LPProblemBuilder(1)
+    builder.set_objective([0], [1.0])
+    builder.add_eq_rows([1.0], rows=[0], cols=[0], values=[1.0])
+    get_backend().solve(builder.build())
+
+
+def _scaled_tfg(tfg: TaskFlowGraph, factor: float) -> TaskFlowGraph:
+    """The same TFG with the first message's size scaled by ``factor``."""
+    target = tfg.messages[0].name
+    scaled = TaskFlowGraph(tfg.name)
+    for task in tfg.tasks:
+        scaled.add_task(task.name, task.ops)
+    for message in tfg.messages:
+        size = (
+            message.size_bytes * factor
+            if message.name == target
+            else message.size_bytes
+        )
+        scaled.add_message(message.name, message.src, message.dst, size)
+    return scaled
+
+
+def _droppable_link(setup):
+    """A link of the topology outside every message's candidate pool.
+
+    Dropping it changes the instance identity (the monolithic key
+    misses) without touching any stage artifact's inputs — the
+    perturbation that exercises the full-prefix delta replay.
+    """
+    pool_links = set()
+    for message in setup.timing.tfg.messages:
+        src = setup.allocation[message.src]
+        dst = setup.allocation[message.dst]
+        if src == dst:
+            continue
+        for path in setup.topology.minimal_path_pool(
+            src, dst, COMPILER.max_paths
+        ):
+            pool_links.update(links_on_path(path))
+    for link in sorted(setup.topology.links):
+        if link not in pool_links:
+            return link
+    raise RuntimeError(
+        f"every link of {setup.topology.name} appears in a candidate pool"
+    )
+
+
+def _timed_compile(setup, load, cache):
+    began = time.perf_counter()
+    try:
+        compile_schedule(
+            setup.timing,
+            setup.topology,
+            setup.allocation,
+            setup.tau_in_for_load(load),
+            COMPILER,
+            cache=cache,
+        )
+        verdict = "OK"
+    except SchedulingError as error:
+        verdict = type(error).__name__
+    return time.perf_counter() - began, verdict
+
+
+def _run() -> dict:
+    _warmup()
+    tfg = dvb_tfg(5)
+    scenarios = {
+        "link-drop": {"ratios": [], "verdicts": [], "delta_s": 0.0,
+                      "cold_s": 0.0},
+        "size-scale": {"ratios": [], "verdicts": [], "delta_s": 0.0,
+                       "cold_s": 0.0},
+    }
+    baseline_wall = 0.0
+    root = Path(tempfile.mkdtemp(prefix="bench-delta-"))
+    try:
+        for topology in _topologies():
+            setup = standard_setup(tfg, topology, BANDWIDTH)
+            warm_dir = root / f"warm-{topology.name}"
+
+            residual = ResidualTopology(topology, [_droppable_link(setup)])
+            perturbed = {
+                "link-drop": standard_setup(tfg, residual, BANDWIDTH),
+                "size-scale": standard_setup(
+                    _scaled_tfg(tfg, 0.75), topology, BANDWIDTH
+                ),
+            }
+
+            for index, load in enumerate(LOADS):
+                wall, _ = _timed_compile(
+                    setup, load, ScheduleCache(warm_dir)
+                )
+                baseline_wall += wall
+                for name, pert in perturbed.items():
+                    sc = scenarios[name]
+                    delta_wall, delta_verdict = _timed_compile(
+                        pert, load, ScheduleCache(warm_dir)
+                    )
+                    cold_dir = root / f"cold-{topology.name}-{name}-{index}"
+                    cold_wall, cold_verdict = _timed_compile(
+                        pert, load, ScheduleCache(cold_dir)
+                    )
+                    if delta_verdict != cold_verdict:
+                        raise AssertionError(
+                            f"delta verdict {delta_verdict} != cold verdict "
+                            f"{cold_verdict} at {topology.name} load {load}"
+                        )
+                    sc["verdicts"].append(delta_verdict)
+                    sc["delta_s"] += delta_wall
+                    sc["cold_s"] += cold_wall
+                    sc["ratios"].append(delta_wall / cold_wall)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    all_ratios = [
+        ratio for sc in scenarios.values() for ratio in sc["ratios"]
+    ]
+    report = {
+        "workload": {
+            "tfg": "dvb(5 models)",
+            "topologies": [t.name for t in _topologies()],
+            "bandwidth": BANDWIDTH,
+            "loads": [round(load, 4) for load in LOADS],
+            "config": {
+                "seed": COMPILER.seed,
+                "max_paths": COMPILER.max_paths,
+                "max_restarts": COMPILER.max_restarts,
+                "retries": COMPILER.retries,
+            },
+        },
+        "points": len(LOADS) * len(_topologies()),
+        "cold_wall_s": round(baseline_wall, 3),
+        "median_ratio": round(statistics.median(all_ratios), 4),
+        "max_median_ratio": round(MAX_MEDIAN_RATIO, 4),
+        "scenarios": {
+            name: {
+                "median_ratio": round(statistics.median(sc["ratios"]), 4),
+                "delta_wall_s": round(sc["delta_s"], 3),
+                "cold_wall_s": round(sc["cold_s"], 3),
+                "verdicts": sc["verdicts"],
+            }
+            for name, sc in scenarios.items()
+        },
+    }
+    return report
+
+
+def _pinned() -> dict | None:
+    if not OUT.exists():
+        return None
+    return json.loads(OUT.read_text())
+
+
+def _check(report: dict, pinned: dict | None) -> list[str]:
+    violations = []
+    if report["median_ratio"] > MAX_MEDIAN_RATIO:
+        violations.append(
+            f"median delta/cold ratio {report['median_ratio']} exceeds "
+            f"the {MAX_MEDIAN_RATIO:.3f} acceptance bar"
+        )
+    if pinned is not None:
+        for name, sc in report["scenarios"].items():
+            pinned_sc = pinned["scenarios"][name]
+            budget = pinned_sc["delta_wall_s"] * HEADROOM
+            if sc["delta_wall_s"] > budget:
+                violations.append(
+                    f"{name}: delta wall {sc['delta_wall_s']}s exceeds the "
+                    f"pinned {pinned_sc['delta_wall_s']}s x {HEADROOM} "
+                    f"headroom = {budget:.2f}s"
+                )
+            if sc["verdicts"] != pinned_sc["verdicts"]:
+                violations.append(
+                    f"{name}: verdict drift against the pinned rows"
+                )
+    return violations
+
+
+def _summarize(report: dict) -> str:
+    lines = [
+        f"points          {report['points']} per scenario",
+        f"cold matrix     {report['cold_wall_s']} s",
+        f"median ratio    {report['median_ratio']} "
+        f"(bar: {report['max_median_ratio']})",
+    ]
+    for name, sc in report["scenarios"].items():
+        lines.append(
+            f"{name:<15} delta {sc['delta_wall_s']}s vs cold "
+            f"{sc['cold_wall_s']}s (median ratio {sc['median_ratio']})"
+        )
+    return "\n".join(lines)
+
+
+def _finish(report: dict) -> list[str]:
+    if os.environ.get("BENCH_DELTA_UPDATE") == "1" or not OUT.exists():
+        OUT.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"budget pinned to {OUT}")
+        return _check(report, None)
+    return _check(report, _pinned())
+
+
+def test_delta_speed(benchmark):
+    report = benchmark.pedantic(_run, rounds=1)
+    print()
+    print(_summarize(report))
+    violations = _finish(report)
+    assert not violations, "; ".join(violations)
+
+
+def main() -> int:
+    report = _run()
+    print(_summarize(report))
+    violations = _finish(report)
+    for violation in violations:
+        print(f"GATE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

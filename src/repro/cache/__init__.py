@@ -11,14 +11,30 @@ engine and repeated CLI runs reuse prior work:
 >>> from repro.cache import ScheduleCache
 >>> cache = ScheduleCache("~/.cache/repro-schedules")   # or ScheduleCache()
 >>> routing = compile_schedule(timing, topo, alloc, tau, config, cache=cache)
->>> cache.stats.as_dict()
-{'hits': 0, 'misses': 1, 'stores': 1, 'invalidations': 0, 'hit_rate': 0.0}
+>>> cache.stats.as_dict()["misses"], cache.stats.as_dict()["stores"]
+(1, 1)
+
+Beyond the monolithic schedule key, the cache also holds per-stage
+**artifacts** (:mod:`repro.cache.artifacts`): content-keyed outputs of
+the expensive pipeline stages, so a near-identical instance — one
+message resized, one link dropped — resumes mid-pipeline instead of
+recompiling cold.  Artifact traffic is counted per stage under
+``cache.stats.stages`` (surfaced as ``"stages"`` in ``as_dict()``),
+never in the scalar counters above.
 
 See ``docs/compiler.md`` for the key scheme and invalidation rules.
 """
 
+from repro.cache.artifacts import (
+    DeltaState,
+    artifact_key,
+    bounds_content,
+    pools_content,
+    warm_scope_key,
+)
 from repro.cache.keys import (
     CACHE_VERSION,
+    PERF_ONLY_CONFIG_FIELDS,
     cache_key_payload,
     canonical_allocation,
     canonical_config,
@@ -41,7 +57,11 @@ from repro.cache.store import (
 __all__ = [
     "CACHE_VERSION",
     "CacheStats",
+    "DeltaState",
+    "PERF_ONLY_CONFIG_FIELDS",
     "ScheduleCache",
+    "artifact_key",
+    "bounds_content",
     "cache_key_payload",
     "canonical_allocation",
     "canonical_config",
@@ -53,6 +73,8 @@ __all__ = [
     "entry_to_routing",
     "error_to_entry",
     "persist_cache_stats",
+    "pools_content",
     "routing_to_entry",
     "schedule_cache_key",
+    "warm_scope_key",
 ]

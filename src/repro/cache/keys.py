@@ -37,7 +37,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.topology.base import Topology
 
 #: Version stamp baked into every key and every stored entry.
-CACHE_VERSION = "repro.cache/1"
+#: ``/2``: perf-only solver knobs (``lp_batch``/``lp_warm_start``) are
+#: now elided from :func:`canonical_config` unconditionally — entries
+#: written under ``/1`` keys (which hashed non-default knob values)
+#: would otherwise shadow or miss the unified key space.
+CACHE_VERSION = "repro.cache/2"
+
+#: ``CompilerConfig`` fields that change solver wall time but provably
+#: not the compiled schedule (pinned by the PR 7 property tests) —
+#: always elided from cache keys.
+PERF_ONLY_CONFIG_FIELDS = ("lp_batch", "lp_warm_start")
 
 
 def canonical_tfg(tfg: "TaskFlowGraph") -> dict[str, Any]:
@@ -94,22 +103,23 @@ def canonical_config(config: "CompilerConfig") -> dict[str, Any]:
     ``key("auto") == key(resolved)`` within one environment, which is
     what content addressing promises.
 
-    Solver *performance* knobs added after the cache format shipped
-    (``lp_batch``, ``lp_warm_start``) are elided while at their default
-    values: they change how fast the LPs are solved, not which schedule
-    comes out, so a default-config key must keep hashing identically to
-    pre-knob caches.  A non-default value is still hashed (perturbing it
-    yields a different key, preserving completeness).
+    Solver *performance* knobs (:data:`PERF_ONLY_CONFIG_FIELDS`) are
+    elided **unconditionally**: they change how fast the LPs are
+    solved, not which schedule comes out (batched and warm-started
+    solves are byte-identical to sequential cold ones — pinned by the
+    PR 7 property tests), so all four knob combinations must hash to
+    the same key.  Eliding only default values — the pre-``/2``
+    behaviour — fragmented the key space: a sweep run with
+    ``lp_batch=False`` could not reuse entries a default-config run had
+    already compiled, despite producing byte-identical schedules.
     """
     from repro.solvers import default_backend_name
 
     fields = asdict(config)
     if fields.get("lp_backend") == "auto":
         fields["lp_backend"] = default_backend_name()
-    if fields.get("lp_batch") is True:
-        del fields["lp_batch"]
-    if fields.get("lp_warm_start") is False:
-        del fields["lp_warm_start"]
+    for knob in PERF_ONLY_CONFIG_FIELDS:
+        fields.pop(knob, None)
     return fields
 
 

@@ -1,7 +1,7 @@
 """The schedule cache: an in-memory tier over an optional on-disk tier.
 
 Entries are JSON documents addressed by the content key of
-:mod:`repro.cache.keys`.  Two kinds exist:
+:mod:`repro.cache.keys`.  Three kinds exist:
 
 - ``"schedule"`` — a successful compilation: the serialized
   :class:`~repro.core.switching.CommunicationSchedule` (via
@@ -10,7 +10,12 @@ Entries are JSON documents addressed by the content key of
 - ``"failure"`` — a *negative* entry recording which
   :class:`~repro.errors.SchedulingError` a compilation raised, so the
   feasibility matrix's infeasible points also hit on warm runs instead
-  of re-running the LPs just to fail identically.
+  of re-running the LPs just to fail identically;
+- ``"artifact"`` — one pipeline stage's output under an artifact key
+  from :mod:`repro.cache.artifacts`, the unit of delta compilation.
+  Artifact traffic is counted in :attr:`CacheStats.stages` (per stage
+  name), never in the scalar schedule-level counters, so delta
+  recompiles don't skew schedule hit rates.
 
 :meth:`ScheduleCache.fetch` returns a rebuilt routing on a schedule hit,
 **raises** the reconstructed error on a failure hit, and returns ``None``
@@ -25,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -55,9 +60,17 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    #: Per-stage artifact counters of the delta-compilation tier, keyed
+    #: ``stage name -> {"hits" | "misses" | "stores": int}``.  Kept
+    #: separate from the scalar schedule-level counters above so
+    #: artifact traffic never skews schedule hit rates (which CI gates
+    #: on for the matrix and serve load tests).
+    stages: dict[str, dict[str, int]] = field(default_factory=dict)
 
     #: The raw counter names (everything except the derived hit rate).
     FIELDS = ("hits", "misses", "stores", "invalidations")
+    #: Counter names tracked per artifact stage.
+    STAGE_FIELDS = ("hits", "misses", "stores")
 
     @property
     def lookups(self) -> int:
@@ -68,38 +81,83 @@ class CacheStats:
         """Fraction of lookups served from the cache (0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self) -> dict[str, float | int]:
-        return {
+    def stage(self, name: str) -> dict[str, int]:
+        """The (auto-created) counter dict of one artifact stage."""
+        return self.stages.setdefault(
+            name, {event: 0 for event in self.STAGE_FIELDS}
+        )
+
+    def record_stage(self, name: str, event: str) -> None:
+        """Count one artifact-stage ``"hits"``/``"misses"``/``"stores"``."""
+        self.stage(name)[event] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.stages:
+            payload["stages"] = {
+                name: dict(counters)
+                for name, counters in sorted(self.stages.items())
+            }
+        return payload
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, Any]:
         """The raw counters, for :meth:`since` deltas across a task."""
-        return {name: getattr(self, name) for name in self.FIELDS}
+        snap: dict[str, Any] = {
+            name: getattr(self, name) for name in self.FIELDS
+        }
+        snap["stages"] = {
+            name: dict(counters) for name, counters in self.stages.items()
+        }
+        return snap
 
-    def since(self, before: Mapping[str, int]) -> dict[str, int]:
+    def since(self, before: Mapping[str, Any]) -> dict[str, Any]:
         """Counter deltas relative to an earlier :meth:`snapshot`.
 
         Worker processes ship these per-task deltas back to the parent
         (matrix fan-out, serve farm), which :meth:`merge`\\ s them — so
         aggregated totals sum correctly even when one long-lived worker
-        cache serves many tasks.
+        cache serves many tasks.  Stage counters ride along under
+        ``"stages"`` (omitted when no stage moved).
         """
-        return {
-            name: getattr(self, name) - before.get(name, 0)
+        delta: dict[str, Any] = {
+            name: getattr(self, name) - int(before.get(name, 0))
             for name in self.FIELDS
         }
+        before_stages: Mapping[str, Mapping[str, int]] = (
+            before.get("stages") or {}
+        )
+        stages: dict[str, dict[str, int]] = {}
+        for name, counters in self.stages.items():
+            prior = before_stages.get(name, {})
+            moved = {
+                event: counters.get(event, 0) - int(prior.get(event, 0))
+                for event in self.STAGE_FIELDS
+            }
+            if any(moved.values()):
+                stages[name] = moved
+        if stages:
+            delta["stages"] = stages
+        return delta
 
-    def merge(self, other: "CacheStats | Mapping[str, int]") -> None:
+    def merge(self, other: "CacheStats | Mapping[str, Any]") -> None:
         """Add another instance's (or delta dict's) counters into this one."""
         if isinstance(other, CacheStats):
             other = other.snapshot()
         for name in self.FIELDS:
             setattr(self, name, getattr(self, name) + int(other.get(name, 0)))
+        stage_counts: Mapping[str, Mapping[str, int]] = (
+            other.get("stages") or {}
+        )
+        for name, counters in stage_counts.items():
+            mine = self.stage(name)
+            for event in self.STAGE_FIELDS:
+                mine[event] += int(counters.get(event, 0))
 
 
 def persist_cache_stats(
@@ -308,6 +366,7 @@ class ScheduleCache:
         )
 
     def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
         return self.directory / key[:2] / f"{key}.json"
 
     def _migrate_flat_layout(self) -> int:
@@ -321,6 +380,7 @@ class ScheduleCache:
         simply finds the source gone and moves on.
         """
         migrated = 0
+        assert self.directory is not None
         for path in self.directory.glob("*.json"):
             key = path.stem
             if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
@@ -396,6 +456,56 @@ class ScheduleCache:
 
         return Diagnosis.from_dict(entry["diagnosis"])
 
+    def contains(self, key: str) -> bool:
+        """Whether a key is present in either tier.
+
+        A pure existence probe: it touches no counters and deserializes
+        nothing, so callers validating an *external* memo (the serve
+        farm's result memo) can check that the backing entry still
+        exists without skewing hit rates.
+        """
+        if key in self._memory:
+            return True
+        if self.directory is not None:
+            return self._disk_path(key).exists()
+        return False
+
+    def fetch_artifact(self, key: str, stage: str) -> dict[str, Any] | None:
+        """Look up one stage artifact; ``None`` on miss or wrong kind.
+
+        Counts a per-stage hit or miss in :attr:`CacheStats.stages` and
+        never touches the scalar schedule-level counters.
+        """
+        entry = self._memory.get(key)
+        if entry is None and self.directory is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if (
+            entry is None
+            or entry.get("kind") != "artifact"
+            or entry.get("stage") != stage
+        ):
+            self.stats.record_stage(stage, "misses")
+            return None
+        self.stats.record_stage(stage, "hits")
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def store_artifact(
+        self, key: str, stage: str, payload: Mapping[str, Any]
+    ) -> None:
+        """Record one stage artifact (per-stage store counter only)."""
+        entry = {
+            "format": CACHE_VERSION,
+            "kind": "artifact",
+            "stage": stage,
+            "payload": dict(payload),
+        }
+        self._memory[key] = entry
+        self.stats.record_stage(stage, "stores")
+        self._write_disk(key, entry)
+
     def invalidate(self, key: str) -> None:
         """Drop one entry from both tiers."""
         dropped = self._memory.pop(key, None) is not None
@@ -414,6 +524,9 @@ class ScheduleCache:
     def _put(self, key: str, entry: dict[str, Any]) -> None:
         self._memory[key] = entry
         self.stats.stores += 1
+        self._write_disk(key, entry)
+
+    def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
         if self.directory is None:
             return
         path = self._disk_path(key)

@@ -23,6 +23,13 @@ and cross-checked along three independent axes:
   directory; the served result must be byte-identical to the fresh
   compilation (same canonical entry for schedules, same reconstructed
   error for negative entries).
+- **delta differential** — one input element is perturbed (a message
+  size, a topology link, or the task speed — the seed picks which) and
+  the perturbed instance is compiled over the original's warm artifact
+  cache.  The delta recompile must be byte-identical (modulo solver
+  wall times and tallies — it legitimately performs fewer LP solves) to
+  a cold compile of the perturbed instance, proving stage-level
+  artifact reuse never changes results.
 - **prescreen soundness** — the static instance diagnoser
   (:mod:`repro.diagnose`) runs on every point; a statically refuted
   point must be infeasible on *every* backend, and every refutation's
@@ -340,6 +347,134 @@ def _check_cache(
                 )
 
 
+def _perturb(point: FuzzPoint, inputs: "PointInputs") -> "PointInputs | None":
+    """One deterministic single-element perturbation of a point's inputs.
+
+    The seed selects the perturbation kind (message size, link drop,
+    task speed); kinds that do not apply — no messages to shrink, no
+    link whose removal keeps the topology usable — fall through to the
+    next kind.  Returns ``None`` only when no perturbation applies.
+    """
+    timing, topology, allocation, tau_in = inputs
+    for kind in range(point.seed % 3, point.seed % 3 + 3):
+        perturbed = _PERTURBATIONS[kind % 3](point, inputs)
+        if perturbed is not None:
+            return perturbed
+    return None
+
+
+def _perturb_size(
+    point: FuzzPoint, inputs: "PointInputs"
+) -> "PointInputs | None":
+    """Halve the first message's size; everything else unchanged."""
+    from repro.tfg.graph import TaskFlowGraph
+
+    timing, topology, allocation, tau_in = inputs
+    tfg = timing.tfg
+    if not tfg.messages:
+        return None
+    target = tfg.messages[0].name
+    perturbed = TaskFlowGraph(tfg.name)
+    for task in tfg.tasks:
+        perturbed.add_task(task.name, task.ops)
+    for message in tfg.messages:
+        size = (
+            message.size_bytes * 0.5
+            if message.name == target
+            else message.size_bytes
+        )
+        perturbed.add_message(message.name, message.src, message.dst, size)
+    new_timing = TFGTiming(
+        perturbed, bandwidth=timing.bandwidth, speeds=40.0
+    )
+    return new_timing, topology, allocation, tau_in
+
+
+def _perturb_link(
+    point: FuzzPoint, inputs: "PointInputs"
+) -> "PointInputs | None":
+    """Drop the first link whose removal leaves the topology usable."""
+    from repro.faults.residual import ResidualTopology
+
+    timing, topology, allocation, tau_in = inputs
+    routed = [
+        (allocation[m.src], allocation[m.dst])
+        for m in timing.tfg.messages
+        if allocation[m.src] != allocation[m.dst]
+    ]
+    for link in sorted(topology.links):
+        residual = ResidualTopology(topology, [link])
+        if all(residual.connected(u, v) for u, v in routed):
+            return timing, residual, allocation, tau_in
+    return None
+
+
+def _perturb_speed(
+    point: FuzzPoint, inputs: "PointInputs"
+) -> "PointInputs | None":
+    """Slow the processors 10%; tau_in keeps the point's load factor."""
+    timing, topology, allocation, tau_in = inputs
+    new_timing = TFGTiming(
+        timing.tfg, bandwidth=timing.bandwidth, speeds=36.0
+    )
+    return new_timing, topology, allocation, new_timing.tau_c / point.load
+
+
+_PERTURBATIONS = (_perturb_size, _perturb_link, _perturb_speed)
+
+
+def _delta_digest(run: "CompileRun") -> str:
+    """Digest for the delta differential: solver tallies stripped.
+
+    A delta recompile answers reused stages from artifacts instead of
+    re-solving their LPs, so solve counts and iteration tallies differ
+    legitimately from a cold compile; everything else must match.
+    """
+    verdict, result = run
+    if verdict == "feasible":
+        entry = routing_to_entry(result)
+        entry.pop("solver_stats", None)
+        return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return _error_digest(result)
+
+
+def _check_delta(
+    point: FuzzPoint,
+    backend: str,
+    inputs: "PointInputs",
+    cache_root: Path,
+    out: list[str],
+) -> None:
+    """Delta differential: perturb one input, recompile over warm artifacts.
+
+    The original point is compiled cold into a cache directory (storing
+    its per-stage artifacts); the perturbed instance is then compiled
+    over that warm directory (the delta path: its monolithic key misses,
+    stage artifacts serve whatever prefix is still valid) and against a
+    fresh directory (the cold reference).  Both must agree byte-for-byte
+    modulo solver tallies.
+    """
+    perturbed = _perturb(point, inputs)
+    if perturbed is None:
+        return
+    warm_dir = cache_root / f"seed{point.seed}-{backend}-delta"
+    cold_dir = cache_root / f"seed{point.seed}-{backend}-delta-cold"
+    _compile(inputs, backend, cache=ScheduleCache(warm_dir))
+    delta = _compile(perturbed, backend, cache=ScheduleCache(warm_dir))
+    cold = _compile(perturbed, backend, cache=ScheduleCache(cold_dir))
+    if delta[0] != cold[0]:
+        out.append(
+            f"seed {point.seed} [{backend}]: delta-recompile verdict "
+            f"{delta[0]} != cold verdict {cold[0]} on perturbed instance"
+        )
+        return
+    if _delta_digest(delta) != _delta_digest(cold):
+        out.append(
+            f"seed {point.seed} [{backend}]: delta recompile differs from "
+            f"cold compile of the perturbed instance"
+        )
+
+
 def check_point(
     point: FuzzPoint, cache_root: Path | None = None
 ) -> PointOutcome:
@@ -380,6 +515,11 @@ def check_point(
                 point, backend, inputs, runs[backend], Path(tmp),
                 outcome.disagreements,
             )
+        # Delta differential once per point, on the fastest backend —
+        # it performs three full compilations on its own.
+        _check_delta(
+            point, backends[-1], inputs, Path(tmp), outcome.disagreements
+        )
     return outcome
 
 

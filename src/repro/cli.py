@@ -573,7 +573,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_comp.add_argument(
         "--lp-backend",
-        choices=("auto", "highs", "highs-ds", "reference"),
+        choices=("auto", "highs", "highs-ds", "ilp", "reference"),
         default="auto",
         help="LP solver backend for both LP stages",
     )
@@ -608,7 +608,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_matrix.add_argument(
         "--lp-backend",
-        choices=("auto", "highs", "highs-ds", "reference"),
+        choices=("auto", "highs", "highs-ds", "ilp", "reference"),
         default="auto",
         help="LP solver backend for both LP stages",
     )
@@ -651,7 +651,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_diag.add_argument(
         "--lp-backend",
-        choices=("auto", "highs", "highs-ds", "reference"),
+        choices=("auto", "highs", "highs-ds", "ilp", "reference"),
         default="auto",
         help="LP solver backend used by --deep",
     )

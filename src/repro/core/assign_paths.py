@@ -70,6 +70,7 @@ def assign_paths(
     max_restarts: int = 4,
     max_inner: int = 200,
     max_repositions: int = 25,
+    pools: Mapping[str, list[list[int]]] | None = None,
 ) -> AssignPathsResult:
     """Minimise peak utilisation ``U`` over path assignments.
 
@@ -95,11 +96,20 @@ def assign_paths(
     max_repositions:
         Cap on same-value peak-repositioning moves per descent (Fig. 4
         repositions unboundedly; a cap guarantees termination).
+    pools:
+        Pre-enumerated candidate pools (``message name -> paths``), in
+        the same per-message order ``minimal_path_pool`` yields —
+        callers that already enumerated the pools (delta compilation
+        keys artifacts on them) pass them in so they aren't enumerated
+        twice.  Must cover every endpoint and match the ``max_paths``
+        cap; ``None`` enumerates them here.
     """
     rng = random.Random(seed)
-    pools: dict[str, list[list[int]]] = {}
-    for name, (src, dst) in endpoints.items():
-        pools[name] = topology.minimal_path_pool(src, dst, max_paths)
+    if pools is None:
+        enumerated: dict[str, list[list[int]]] = {}
+        for name, (src, dst) in endpoints.items():
+            enumerated[name] = topology.minimal_path_pool(src, dst, max_paths)
+        pools = enumerated
 
     def random_assignment() -> PathAssignment:
         return PathAssignment(

@@ -83,20 +83,26 @@ class CompilerConfig:
         Name of the LP solver backend both LP stages use (see
         :func:`repro.solvers.get_backend`): ``"auto"`` (default —
         scipy's HiGHS when available, the pure-Python reference simplex
-        otherwise), ``"highs"``, ``"highs-ds"`` or ``"reference"``.
+        otherwise), ``"highs"``, ``"highs-ds"``, ``"ilp"`` (HiGHS LPs
+        plus exact MILP capabilities, see
+        :mod:`repro.solvers.ilp_backend`) or ``"reference"``.
     lp_batch:
         When True (default), the independent per-interval packing LPs
         of interval scheduling are solved through the backend's
         ``solve_batch`` — one block-diagonal HiGHS solve per
         column-generation round instead of one solve per interval.
         Verdicts and generated columns are identical either way; this
-        only changes solver wall time.  At its default this knob does
-        not alter cache keys.
+        only changes solver wall time.  Perf-only: never part of cache
+        keys.
     lp_warm_start:
         When True, the backend caches optimal bases by problem
-        structure and warm-starts structurally identical solves
-        (matrix cells differing only in load).  Off by default; at its
-        default this knob does not alter cache keys.
+        structure and warm-starts structurally identical solves —
+        within one compilation, and (when a cache is attached) across
+        compilations of the same structural family via the
+        :func:`~repro.cache.warm_scope_key` basis registry, so delta
+        recompiles and matrix cells differing only in load start their
+        LPs from the prior basis.  Off by default; perf-only: never
+        part of cache keys.
     prescreen:
         When True, run the static instance diagnoser
         (:mod:`repro.diagnose`) before any path assignment or LP work
@@ -187,15 +193,31 @@ def compile_schedule(
     validate_allocation(timing.tfg, topology, allocation, exclusive=False)
 
     key = None
+    delta = None
+    warm_scope = None
     if cache is not None:
-        from repro.cache import schedule_cache_key
+        from repro.cache import DeltaState, schedule_cache_key, warm_scope_key
 
         key = schedule_cache_key(timing, topology, allocation, tau_in, config)
         hit = cache.fetch(key, topology=topology)
         if hit is not None:
             return hit
+        # Monolithic miss: compile with per-stage artifact reuse, so a
+        # near-identical instance resumes mid-pipeline instead of cold.
+        delta = DeltaState(cache, timing, topology, allocation, tau_in, config)
+        if config.lp_warm_start:
+            # Scope warm-start bases to the structural problem family
+            # (sizes excluded), so delta recompiles and matrix cells
+            # differing only in load share one basis pool.
+            warm_scope = warm_scope_key(
+                timing, topology, allocation, delta.backend_name
+            )
 
-    backend = get_backend(config.lp_backend, warm_start=config.lp_warm_start)
+    backend = get_backend(
+        config.lp_backend,
+        warm_start=config.lp_warm_start,
+        warm_scope=warm_scope,
+    )
     context = CompilationContext(
         tau_in=tau_in,
         config=config,
@@ -204,6 +226,7 @@ def compile_schedule(
         timing=timing,
         topology=topology,
         allocation=allocation,
+        delta=delta,
     )
     if config.prescreen:
         try:

@@ -44,6 +44,7 @@ from repro.core.switching import CommunicationSchedule, build_schedule
 from repro.core.timebounds import TimeBoundSet, compute_time_bounds
 from repro.core.utilization import UtilizationReport, utilization_report
 from repro.errors import (
+    IntervalAllocationError,
     IntervalSchedulingError,
     SchedulingError,
     UtilizationExceededError,
@@ -52,6 +53,7 @@ from repro.solvers import LPBackend
 from repro.trace.profile import NULL_PROFILER, CompileProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.core.compiler
+    from repro.cache.artifacts import DeltaState
     from repro.core.compiler import CompilerConfig
     from repro.tfg.analysis import TFGTiming
     from repro.topology.base import Topology
@@ -118,6 +120,10 @@ class CompilationContext:
     timing: "TFGTiming | None" = None
     topology: "Topology | None" = None
     allocation: Mapping[str, int] | None = None
+    #: Per-stage artifact broker for delta compilation (attached by
+    #: ``compile_schedule`` when a cache is present; ``None`` otherwise,
+    #: in which case every stage computes from scratch).
+    delta: "DeltaState | None" = None
 
     # Artifacts, in pipeline order.
     routed: list[str] = field(default_factory=list)
@@ -146,6 +152,8 @@ class CompilationContext:
         self.allocations = []
         self.interval_schedules = []
         self.schedule = None
+        if self.delta is not None:
+            self.delta.reset_attempt()
 
 
 @runtime_checkable
@@ -235,6 +243,10 @@ class TimeBoundsStage:
             )
             for name in routed
         }
+        if context.delta is not None:
+            # Bounds are cheap to recompute; their content digest keys
+            # every artifact downstream.
+            context.delta.record_bounds(context.bounds)
 
 
 class AssignPathsStage:
@@ -248,7 +260,32 @@ class AssignPathsStage:
             attempt=context.attempt_number,
             messages=len(context.endpoints),
             max_paths=context.config.max_paths,
-        ):
+        ) as detail:
+            delta = context.delta
+            pools: dict[str, list[list[int]]] | None = None
+            key: str | None = None
+            if delta is not None:
+                # The candidate pools feed both the artifact key and (on
+                # a miss) the heuristic itself, so they are enumerated
+                # once, in endpoint order — the order the heuristic's
+                # RNG consumes them in.
+                pools = {
+                    name: context.topology.minimal_path_pool(
+                        src, dst, context.config.max_paths
+                    )
+                    for name, (src, dst) in context.endpoints.items()
+                }
+                key = delta.assignment_key(pools, context.seed)
+                cached = delta.fetch_assignment(
+                    key, context.topology, context.endpoints
+                )
+                if cached is not None:
+                    detail["artifact"] = "hit"
+                    context.assignment = cached
+                    context.report = utilization_report(
+                        context.bounds, cached
+                    )
+                    return
             heuristic = assign_paths(
                 context.bounds,
                 context.topology,
@@ -256,7 +293,11 @@ class AssignPathsStage:
                 seed=context.seed,
                 max_paths=context.config.max_paths,
                 max_restarts=context.config.max_restarts,
+                pools=pools,
             )
+            if delta is not None and key is not None:
+                detail["artifact"] = "store"
+                delta.store_assignment(key, heuristic.assignment)
         context.assignment = heuristic.assignment
         context.report = heuristic.report
 
@@ -271,13 +312,30 @@ class LsdAssignmentStage:
             self.name,
             attempt=context.attempt_number,
             messages=len(context.endpoints),
-        ):
+        ) as detail:
+            delta = context.delta
+            key: str | None = None
+            if delta is not None:
+                key = delta.lsd_assignment_key()
+                cached = delta.fetch_assignment(
+                    key, context.topology, context.endpoints
+                )
+                if cached is not None:
+                    detail["artifact"] = "hit"
+                    context.assignment = cached
+                    context.report = utilization_report(
+                        context.bounds, cached
+                    )
+                    return
             context.assignment = lsd_assignment(
                 context.topology, context.endpoints
             )
             context.report = utilization_report(
                 context.bounds, context.assignment
             )
+            if delta is not None and key is not None:
+                detail["artifact"] = "store"
+                delta.store_assignment(key, context.assignment)
 
 
 class UtilizationGateStage:
@@ -325,6 +383,7 @@ class IntervalStage:
     def run(self, context: CompilationContext) -> None:
         bounds = context.bounds
         num_intervals = len(bounds.intervals.lengths)
+        delta = context.delta
         for index, subset in enumerate(context.subsets):
             with context.profiler.stage(
                 f"{self.name}[{index}]",
@@ -332,16 +391,41 @@ class IntervalStage:
                 messages=len(subset),
                 lp_vars=len(subset) * num_intervals,
             ) as detail:
+                key: str | None = None
+                if delta is not None:
+                    key = delta.subset_key(
+                        bounds, context.assignment, subset, index
+                    )
+                    # Raises the recorded stage error on a negative hit,
+                    # replaying the live feedback loop byte-identically.
+                    cached = delta.fetch_subset(key, subset)
+                    if cached is not None:
+                        detail["artifact"] = "hit"
+                        interval_allocation, schedules = cached
+                        context.allocations.append(interval_allocation)
+                        context.interval_schedules.append(schedules)
+                        continue
                 before = (
                     context.backend.tally.snapshot()
                     if context.backend is not None
                     else None
                 )
-                interval_allocation, schedules = self._allocate_with_feedback(
-                    context, subset, index
-                )
+                try:
+                    interval_allocation, schedules = (
+                        self._allocate_with_feedback(context, subset, index)
+                    )
+                except (
+                    IntervalAllocationError,
+                    IntervalSchedulingError,
+                ) as error:
+                    if delta is not None and key is not None:
+                        delta.store_subset_failure(key, error)
+                    raise
                 if before is not None:
                     detail.update(context.backend.tally.since(before))
+                if delta is not None and key is not None:
+                    detail["artifact"] = "store"
+                    delta.store_subset(key, interval_allocation, schedules)
             context.allocations.append(interval_allocation)
             context.interval_schedules.append(schedules)
 
@@ -399,10 +483,23 @@ class BuildScheduleStage:
         with context.profiler.stage(
             self.name, attempt=context.attempt_number
         ) as detail:
+            delta = context.delta
+            key: str | None = None
+            if delta is not None:
+                key = delta.schedule_key()
+                cached = delta.fetch_schedule(key)
+                if cached is not None:
+                    detail["artifact"] = "hit"
+                    detail["commands"] = cached.num_commands
+                    context.schedule = cached
+                    return
             context.schedule = build_schedule(
                 context.bounds, context.assignment, context.interval_schedules
             )
             detail["commands"] = context.schedule.num_commands
+            if delta is not None and key is not None:
+                detail["artifact"] = "store"
+                delta.store_schedule(key, context.schedule)
 
 
 #: Stages downstream of path assignment — shared by a fresh compile and

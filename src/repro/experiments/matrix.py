@@ -19,9 +19,9 @@ import time
 from concurrent.futures import as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Mapping
 
-from repro.cache import ScheduleCache, persist_cache_stats
+from repro.cache import CacheStats, ScheduleCache, persist_cache_stats
 from repro.core.compiler import CompilerConfig, compile_schedule
 from repro.core.pipeline import (
     CHECK_FLAGGED,
@@ -246,10 +246,11 @@ def run_feasibility_matrix(
             for i, (topology, bandwidth, load) in enumerate(points)
         ]
         verdicts: list[str] = ["-"] * len(points)
-        totals: dict[str, float | int] | None = (
-            {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
-            if cache_dir is not None
-            else None
+        # A CacheStats accumulator (not a plain counter dict) so the
+        # per-stage artifact counters each worker ships back merge
+        # alongside the scalar hit/miss totals.
+        totals: CacheStats | None = (
+            CacheStats() if cache_dir is not None else None
         )
         hooks = (
             [lambda: persist_cache_stats(cache_dir, totals)]
@@ -265,10 +266,9 @@ def run_feasibility_matrix(
                 index, verdict, stats = future.result()
                 verdicts[index] = verdict
                 if totals is not None and stats is not None:
-                    for field in totals:
-                        totals[field] += stats[field]
+                    totals.merge(stats)
             interrupted = pool.draining
-        cache_stats = totals
+        cache_stats = totals.as_dict() if totals is not None else None
     else:
         cache_dir = (
             str(cache) if isinstance(cache, (str, Path)) else None

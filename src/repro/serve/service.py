@@ -249,6 +249,13 @@ class CompileService:
         self._trace("enqueue", job)
 
         done = self._results.get(signature)
+        if done is not None and not self._memo_valid(done):
+            # The backing cache entry vanished (cleared, pruned, or the
+            # cache directory swapped) — a memo answer would resurrect a
+            # result the cache no longer vouches for.  Drop the stale
+            # memo and recompile.
+            self._results.pop(signature, None)
+            done = None
         if done is not None:
             self.stats.fast_hits += 1
             job.result = done.get("result")
@@ -379,16 +386,62 @@ class CompileService:
             )
 
     def _remember(self, signature: str, job: Job) -> None:
-        """Memo a terminal outcome for the duplicate fast path."""
+        """Memo a terminal outcome for the duplicate fast path.
+
+        Each entry records the cache key backing the outcome
+        (``backing``), so :meth:`_memo_valid` can later check that the
+        shared cache still holds that entry before answering from the
+        memo — invalidating the cache invalidates the memo with it.
+        """
         if not job.terminal:
             return
         self._results[signature] = {
             "state": job.state,
             "result": job.result,
             "error": job.error,
+            "backing": self._backing_key(job),
         }
         while len(self._results) > self.config.history_limit:
             self._results.popitem(last=False)
+
+    def _backing_key(self, job: Job) -> str | None:
+        """The shared-cache key whose entry vouches for this outcome.
+
+        Completed compile/check jobs are backed by the schedule entry
+        under ``job.key``; completed diagnose jobs and admission
+        rejections are backed by the diagnosis entry in the disjoint
+        diagnosis key space.  Exception failures have no backing entry
+        (``None``) — they are memoized on their own terms, as are
+        outcomes whose entry never landed in the cache (a worker stub
+        or a cache-less execution path cannot go stale).
+        """
+        from repro.cache import diagnosis_cache_key
+
+        request = job.request
+        key: str | None = None
+        if job.state == JOB_DONE and request.kind in ("compile", "check"):
+            key = job.key
+        elif job.state == JOB_REJECTED or (
+            job.state == JOB_DONE and request.kind == "diagnose"
+        ):
+            setup, tau_in, _key = self._instance(request)
+            key = diagnosis_cache_key(
+                setup.timing,
+                setup.topology,
+                setup.allocation,
+                tau_in,
+                request.compiler_config().sync_margin,
+            )
+        if key is None or self.cache is None or not self.cache.contains(key):
+            return None
+        return key
+
+    def _memo_valid(self, done: Mapping[str, Any]) -> bool:
+        """Whether a memo entry's backing cache entry still exists."""
+        backing = done.get("backing")
+        if backing is None:
+            return True
+        return self.cache is not None and self.cache.contains(backing)
 
     # -- progress streaming ----------------------------------------------
 

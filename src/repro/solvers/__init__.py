@@ -14,9 +14,12 @@ storage); backends additionally expose ``solve_batch`` (independent
 problems stitched into one block-diagonal solve where the backend
 supports it) and warm starts (``solution.warm_start`` handles, or
 ``get_backend(name, warm_start=True)`` for automatic basis reuse across
-structurally identical problems).  Passing dense matrix fields to
-``solve()`` still works behind a one-release ``DeprecationWarning``
-shim.
+structurally identical problems; add ``warm_scope=<key>`` to share one
+basis pool across backend instances of the same structural problem
+family).  Dense matrix fields on ``solve()`` were removed after their
+one-release deprecation window; build problems through
+:class:`~repro.solvers.base.LPProblemBuilder` or
+:meth:`~repro.solvers.base.LPProblem.from_dense`.
 
 Backend names
 -------------
@@ -29,6 +32,11 @@ Backend names
     scipy's automatic HiGHS choice — the fast path.
 ``highs-ds``
     Same backend forced to the HiGHS dual simplex.
+``ilp``
+    :class:`~repro.solvers.ilp_backend.IlpBackend` — HiGHS for the LP
+    stages (byte-identical schedules) plus exact mixed-integer solves
+    (``solve_integer``) used by the AssignPaths optimality-gap
+    reference.  Requires scipy ≥ 1.9 (``scipy.optimize.milp``).
 ``reference``
     :class:`~repro.solvers.reference.ReferenceSimplexBackend` — a
     deterministic numpy-only two-phase simplex for environments without
@@ -77,6 +85,7 @@ __all__ = [
     "TalliedBackend",
     "WarmStart",
     "available_backends",
+    "clear_warm_scopes",
     "default_backend_name",
     "exceeds_tolerance",
     "get_backend",
@@ -85,7 +94,15 @@ __all__ = [
 ]
 
 #: Names accepted by :func:`get_backend`.
-BACKEND_NAMES = ("auto", "highs", "highs-ds", "reference")
+BACKEND_NAMES = ("auto", "highs", "highs-ds", "ilp", "reference")
+
+#: Shared warm-start basis pools, keyed by scope string (see
+#: :func:`repro.cache.warm_scope_key`).  ``get_backend`` hands every
+#: backend instance created under one scope the same dict, so optimal
+#: bases survive across the otherwise per-compilation backend lifetime.
+#: Bases are small (two int arrays per problem structure) and scopes are
+#: per structural family, so the registry stays bounded in practice.
+_WARM_SCOPES: dict[str, dict[tuple[int, int, int], WarmStart]] = {}
 
 
 def have_scipy() -> bool:
@@ -101,21 +118,51 @@ def default_backend_name() -> str:
 def available_backends() -> tuple[str, ...]:
     """Concrete backend names usable in this environment."""
     if have_scipy():
-        return ("highs", "highs-ds", "reference")
+        return ("highs", "highs-ds", "ilp", "reference")
     return ("reference",)
 
 
-def get_backend(name: str = "auto", warm_start: bool = False) -> LPBackend:
+def clear_warm_scopes() -> None:
+    """Drop every shared warm-start basis pool (tests, memory pressure)."""
+    _WARM_SCOPES.clear()
+
+
+def get_backend(
+    name: str = "auto",
+    warm_start: bool = False,
+    warm_scope: str | None = None,
+) -> LPBackend:
     """Instantiate the named LP backend (see module docstring).
 
     ``warm_start=True`` asks the backend to cache optimal bases keyed by
     problem structure and reuse them for structurally identical solves
     (HiGHS backends only; the reference simplex ignores it).
+
+    ``warm_scope`` (implies nothing without ``warm_start=True``) names a
+    shared basis pool: every backend created under the same scope string
+    reuses one cache, so bases survive the per-compilation backend
+    lifetime — the cross-cell/delta reuse the compiler keys off
+    :func:`repro.cache.warm_scope_key`.  Warm-started HiGHS solves are
+    byte-identical to cold ones (pinned by property tests), so scoping
+    never changes results, only wall time.
     """
     if name == "auto":
         name = default_backend_name()
+    basis_cache = None
+    if warm_start and warm_scope is not None:
+        basis_cache = _WARM_SCOPES.setdefault(warm_scope, {})
     if name in SCIPY_METHODS:
-        return ScipyLinprogBackend(method=name, warm_start_reuse=warm_start)
+        return ScipyLinprogBackend(
+            method=name,
+            warm_start_reuse=warm_start,
+            basis_cache=basis_cache,
+        )
+    if name == "ilp":
+        from repro.solvers.ilp_backend import IlpBackend
+
+        return IlpBackend(
+            warm_start_reuse=warm_start, basis_cache=basis_cache
+        )
     if name == "reference":
         return ReferenceSimplexBackend()
     raise ValueError(

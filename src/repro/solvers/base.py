@@ -27,12 +27,12 @@ interval of a schedule), so the contract is sparse-first and batch-aware:
   :class:`~repro.trace.profile.CompileProfiler` detail (and hence into
   ``compile``-category trace events).
 
-**Deprecation shim** — constructing an :class:`LPProblem` from dense
-matrix fields (nested lists / 2-D ``ndarray``) and passing it to
-``solve()`` still works for one release: :class:`TalliedBackend`
-converts it to the sparse form and emits a :class:`DeprecationWarning`.
-New code assembles through :class:`LPProblemBuilder` (or converts
-explicitly with :meth:`LPProblem.from_dense`).
+Problems handed to ``solve()``/``solve_batch()`` must be **canonical**
+(sparse matrices, array bounds).  The one-release dense-field
+deprecation shim has expired: passing dense matrix fields now raises
+``ValueError``.  Assemble through :class:`LPProblemBuilder`, or convert
+explicitly with :meth:`LPProblem.from_dense` when dense data is what a
+caller naturally holds.
 
 :data:`LP_TOL` is the single numerical feasibility tolerance shared by
 both LP stages and every backend; :func:`exceeds_tolerance` is the one
@@ -42,7 +42,6 @@ place its comparison semantics live.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Protocol, Sequence, runtime_checkable
 
@@ -207,8 +206,9 @@ class LPProblem:
       ``[low, high]`` with ``±inf`` for unbounded sides.
 
     Legacy problems (dense nested lists / 2-D arrays, pair-list bounds)
-    are still accepted by ``solve()`` through a one-release
-    :class:`DeprecationWarning` shim — see :class:`TalliedBackend`.
+    are **rejected** by ``solve()`` (the one-release deprecation shim
+    has expired); convert them first with :meth:`from_dense` or
+    :meth:`canonical`.
     """
 
     c: Any
@@ -602,21 +602,13 @@ class LPBackend(Protocol):
         ...
 
 
-#: The one-release dense-solve deprecation message (tested verbatim).
-_DENSE_DEPRECATION = (
-    "passing an LPProblem with dense matrix fields to LPBackend.solve() is "
-    "deprecated; assemble problems with LPProblemBuilder or convert with "
-    "LPProblem.from_dense() — the dense shim will be removed next release"
-)
-
-
 class TalliedBackend:
     """Base class giving concrete backends timing and statistics.
 
     Subclasses implement :meth:`_solve` (and optionally
     :meth:`_solve_batch`; the default solves sequentially);
-    :meth:`solve` / :meth:`solve_batch` wrap them with the legacy
-    dense-problem shim, wall-clock measurement and :class:`SolverTally`
+    :meth:`solve` / :meth:`solve_batch` wrap them with canonical-form
+    validation, wall-clock measurement and :class:`SolverTally`
     bookkeeping.
     """
 
@@ -628,8 +620,12 @@ class TalliedBackend:
     def _admit(self, problem: LPProblem) -> LPProblem:
         if problem.is_canonical:
             return problem
-        warnings.warn(_DENSE_DEPRECATION, DeprecationWarning, stacklevel=3)
-        return problem.canonical()
+        raise ValueError(
+            "LPBackend.solve() requires a canonical LPProblem (sparse "
+            "matrices, array bounds); assemble problems with "
+            "LPProblemBuilder or convert with LPProblem.from_dense() — "
+            "the dense-field deprecation shim has been removed"
+        )
 
     def solve(
         self, problem: LPProblem, warm_start: WarmStart | None = None

@@ -48,7 +48,10 @@ class ScipyLinprogBackend(TalliedBackend):
     """A :class:`~repro.solvers.base.LPBackend` backed by scipy's HiGHS."""
 
     def __init__(
-        self, method: str = "highs", warm_start_reuse: bool = False
+        self,
+        method: str = "highs",
+        warm_start_reuse: bool = False,
+        basis_cache: dict[tuple[int, int, int], WarmStart] | None = None,
     ) -> None:
         if method not in SCIPY_METHODS:
             raise ValueError(
@@ -61,7 +64,16 @@ class ScipyLinprogBackend(TalliedBackend):
         self._engine: object | None = None
         self._engine_probed = False
         self._warm_reuse = warm_start_reuse
-        self._basis_cache: dict[tuple[int, int, int], WarmStart] = {}
+        # An injected basis cache is how warm starts survive across
+        # backend instances: ``get_backend(..., warm_scope=...)`` hands
+        # every backend of one structural problem family the same dict,
+        # so a delta recompile (or the next matrix cell) starts from the
+        # previous compile's optimal bases.  Safety is per-solve: a
+        # basis is only applied when the problem's structure signature
+        # matches the one it was recorded under.
+        self._basis_cache: dict[tuple[int, int, int], WarmStart] = (
+            basis_cache if basis_cache is not None else {}
+        )
 
     def _get_engine(self) -> "object | None":
         if not self._engine_probed:

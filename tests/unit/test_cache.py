@@ -82,18 +82,27 @@ class TestDiskTier:
     def test_entries_are_versioned_json(self, small_setup, tmp_path):
         cache = ScheduleCache(tmp_path)
         compile_small(small_setup, cache=cache)
-        files = list(tmp_path.rglob("*.json"))
-        assert len(files) == 1
-        entry = json.loads(files[0].read_text())
-        assert entry["format"] == CACHE_VERSION
-        assert entry["kind"] == "schedule"
+        entries = [
+            json.loads(path.read_text())
+            for path in tmp_path.rglob("*.json")
+        ]
+        assert all(e["format"] == CACHE_VERSION for e in entries)
+        # One monolithic schedule entry; the rest are the per-stage
+        # artifacts the delta path stores alongside it.
+        kinds = sorted(e["kind"] for e in entries)
+        assert kinds.count("schedule") == 1
+        assert kinds.count("artifact") == len(entries) - 1
+        assert len(entries) > 1
 
     def test_stale_format_invalidated_and_recompiled(
         self, small_setup, tmp_path
     ):
         cache = ScheduleCache(tmp_path)
         compile_small(small_setup, cache=cache)
-        path = next(tmp_path.rglob("*.json"))
+        path = next(
+            p for p in tmp_path.rglob("*.json")
+            if json.loads(p.read_text())["kind"] == "schedule"
+        )
         entry = json.loads(path.read_text())
         entry["format"] = "repro.cache/0"
         path.write_text(json.dumps(entry))

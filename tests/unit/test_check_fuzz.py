@@ -66,6 +66,57 @@ class TestCheckPoint:
         assert check_point(point).verdict == check_point(point).verdict
 
 
+class TestDeltaDifferential:
+    def test_perturbation_is_deterministic_and_distinct(self):
+        from repro.check.fuzz import _perturb
+
+        point = FuzzPoint.from_seed(0)
+        inputs = point.build()
+        first = _perturb(point, inputs)
+        second = _perturb(point, inputs)
+        assert first is not None and second is not None
+        timing, topology, allocation, tau_in = inputs
+        p_timing, p_topology, p_allocation, p_tau = first
+        # Same perturbation both times.
+        assert [
+            (m.name, m.size_bytes) for m in p_timing.tfg.messages
+        ] == [(m.name, m.size_bytes) for m in second[0].tfg.messages]
+        assert p_topology.name == second[1].name
+        # ...and actually different from the original instance.
+        assert (
+            [(m.name, m.size_bytes) for m in p_timing.tfg.messages]
+            != [(m.name, m.size_bytes) for m in timing.tfg.messages]
+            or set(p_topology.links) != set(topology.links)
+            or p_tau != tau_in
+        )
+
+    def test_every_perturbation_kind_applies_somewhere(self):
+        from repro.check.fuzz import _PERTURBATIONS, _perturb
+
+        kinds = set()
+        for seed in range(6):
+            point = FuzzPoint.from_seed(seed)
+            inputs = point.build()
+            perturbed = _perturb(point, inputs)
+            assert perturbed is not None
+            for kind in range(point.seed % 3, point.seed % 3 + 3):
+                if _PERTURBATIONS[kind % 3](point, inputs) is not None:
+                    kinds.add(kind % 3)
+                    break
+        assert len(kinds) > 1  # the corpus exercises several kinds
+
+    def test_delta_recompile_matches_cold(self, tmp_path):
+        from repro.check.fuzz import _check_delta
+
+        for seed in (0, 1):  # one feasible, one infeasible point
+            point = FuzzPoint.from_seed(seed)
+            disagreements: list[str] = []
+            _check_delta(
+                point, "reference", point.build(), tmp_path, disagreements
+            )
+            assert disagreements == []
+
+
 class TestReproducers:
     def failing_outcome(self):
         outcome = PointOutcome(

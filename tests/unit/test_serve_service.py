@@ -147,6 +147,57 @@ def test_finished_duplicates_hit_result_memo():
     _run(run())
 
 
+def test_memo_invalidated_when_backing_cache_entry_vanishes():
+    """Regression: the result memo once outlived cache invalidation.
+
+    A finished job's memo entry is keyed to the cache entry that backs
+    it; once that entry disappears (cache cleared, pruned, or replaced),
+    a duplicate request must recompile instead of replaying the orphaned
+    memo.
+    """
+    async def run():
+        service = _service()
+        service.start()
+        try:
+            from repro.serve.jobs import JobRequest
+
+            key = service._instance(JobRequest.from_payload(PAYLOAD))[2]
+
+            def execute(task):
+                # Simulate the worker landing the schedule entry in the
+                # shared cache (existence is what backs the memo).
+                service.cache.store_artifact(key, "stub", {"ok": 1})
+                return {"feasible": True, "verdict": "OK"}
+
+            service._execute = execute
+            first = service.submit(PAYLOAD)
+            assert await first.wait(timeout=10)
+
+            # Backing entry present: the memo fast path serves.
+            second = service.submit(PAYLOAD)
+            assert second.terminal
+            assert service.stats.fast_hits == 1
+            assert service.stats.dispatched == 1
+
+            # Drop the backing entry from both tiers.
+            for path in service.cache_dir.rglob("*.json"):
+                if path.stem == key:
+                    path.unlink()
+            service.cache.clear()
+
+            # Stale memo must be discarded, not replayed.
+            third = service.submit(PAYLOAD)
+            assert not third.terminal
+            assert await third.wait(timeout=10)
+            assert third.state == JOB_DONE
+            assert service.stats.fast_hits == 1
+            assert service.stats.dispatched == 2
+        finally:
+            await service.shutdown()
+
+    _run(run())
+
+
 def test_admission_rejects_refuted_instance_before_dispatch():
     async def run():
         tracer = TraceRecorder(categories={"serve"})

@@ -96,7 +96,9 @@ ZOO = {
 
 class TestRegistry:
     def test_backend_names_cover_registry(self):
-        assert set(BACKEND_NAMES) == {"auto", "highs", "highs-ds", "reference"}
+        assert set(BACKEND_NAMES) == {
+            "auto", "highs", "highs-ds", "ilp", "reference"
+        }
 
     def test_reference_always_available(self):
         assert "reference" in available_backends()
@@ -253,15 +255,26 @@ class TestSparseAPI:
         assert solution.success
         assert solution.objective == pytest.approx(2.0, abs=1e-7)
 
-    def test_dense_fields_warn_deprecation(self):
+    def test_dense_fields_are_rejected(self):
+        # The one-release deprecation shim has expired: dense matrix
+        # fields now raise instead of warning.
         problem = LPProblem(
             c=np.array([2.0, 3.0]),
             a_eq=np.array([[1.0, 1.0]]),
             b_eq=np.array([1.0]),
             bounds=[(0.0, None), (0.0, None)],
         )
-        with pytest.warns(DeprecationWarning, match="dense matrix fields"):
-            solution = ReferenceSimplexBackend().solve(problem)
+        with pytest.raises(ValueError, match="canonical LPProblem"):
+            ReferenceSimplexBackend().solve(problem)
+        # The explicit conversion path still admits dense data.
+        solution = ReferenceSimplexBackend().solve(
+            LPProblem.from_dense(
+                c=[2.0, 3.0],
+                a_eq=[[1.0, 1.0]],
+                b_eq=[1.0],
+                bounds=[(0.0, None), (0.0, None)],
+            )
+        )
         assert solution.success
         assert solution.objective == pytest.approx(2.0, abs=1e-8)
 
