@@ -48,6 +48,25 @@ CACHE_VERSION = "repro.cache/2"
 #: always elided from cache keys.
 PERF_ONLY_CONFIG_FIELDS = ("lp_batch", "lp_warm_start")
 
+#: ``CompilerConfig`` fields that are part of cache identity.  Together
+#: with :data:`PERF_ONLY_CONFIG_FIELDS` this is the complete decision
+#: ledger: every config field appears in exactly one of the two tuples.
+#: The ``cache-key`` lint rule cross-checks the ledger against the
+#: dataclass statically, and :func:`canonical_config` enforces it at
+#: runtime — a new knob cannot ship without an explicit hash-or-elide
+#: decision.
+HASHED_CONFIG_FIELDS = (
+    "seed",
+    "use_assign_paths",
+    "max_paths",
+    "max_restarts",
+    "retries",
+    "feedback_rounds",
+    "sync_margin",
+    "lp_backend",
+    "prescreen",
+)
+
 
 def canonical_tfg(tfg: "TaskFlowGraph") -> dict[str, Any]:
     """The TFG as a plain, deterministically ordered structure."""
@@ -116,6 +135,16 @@ def canonical_config(config: "CompilerConfig") -> dict[str, Any]:
     from repro.solvers import default_backend_name
 
     fields = asdict(config)
+    decided = set(HASHED_CONFIG_FIELDS) | set(PERF_ONLY_CONFIG_FIELDS)
+    if set(fields) != decided:
+        undecided = sorted(set(fields) - decided)
+        stale = sorted(decided - set(fields))
+        raise ValueError(
+            "CompilerConfig fields drifted from the cache-key decision "
+            f"ledger (undecided: {undecided}, stale: {stale}); update "
+            "HASHED_CONFIG_FIELDS / PERF_ONLY_CONFIG_FIELDS in "
+            "repro.cache.keys"
+        )
     if fields.get("lp_backend") == "auto":
         fields["lp_backend"] = default_backend_name()
     for knob in PERF_ONLY_CONFIG_FIELDS:

@@ -197,6 +197,27 @@ def persist_cache_stats(
     return path
 
 
+#: ``solver_stats`` keys that report wall-clock measurements.  They are
+#: live telemetry of *this* compilation, not properties of the cached
+#: artifact: storing them made two byte-identical compilations produce
+#: different cache entries (and re-served stale timings as if they were
+#: fresh).  :func:`routing_to_entry` strips them; cache hits simply
+#: have no timing, which is the truth.
+VOLATILE_SOLVER_STATS = ("lp_wall_ms",)
+
+
+def _stable_solver_stats(
+    stats: Mapping[str, Any] | None,
+) -> dict[str, Any] | None:
+    if stats is None:
+        return None
+    return {
+        key: value
+        for key, value in stats.items()
+        if key not in VOLATILE_SOLVER_STATS
+    }
+
+
 def routing_to_entry(routing: "ScheduledRouting") -> dict[str, Any]:
     """Serialize a successful compilation to a JSON-able entry."""
     return {
@@ -217,7 +238,9 @@ def routing_to_entry(routing: "ScheduledRouting") -> dict[str, Any]:
         "tau_in": routing.tau_in,
         "local_messages": list(routing.local_messages),
         "attempts": routing.attempts,
-        "solver_stats": routing.extra.get("solver_stats"),
+        "solver_stats": _stable_solver_stats(
+            routing.extra.get("solver_stats")
+        ),
     }
 
 

@@ -319,6 +319,52 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import Baseline, ProjectContext, lint_project, rules_named
+    from repro.lint.output import RENDERERS
+
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: scan root {root} does not exist", file=sys.stderr)
+        return 2
+    try:
+        rules = rules_named(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    project = ProjectContext.from_root(root)
+
+    if args.fix_baseline:
+        report = lint_project(project, rules=rules, baseline=None)
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"baseline rewritten: {len(report.findings)} entr(ies) in "
+            f"{baseline_path}"
+        )
+        return 0
+
+    try:
+        baseline = (
+            Baseline.load(baseline_path) if not args.no_baseline else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = lint_project(project, rules=rules, baseline=baseline)
+    rendered = RENDERERS[args.format](report)
+    if args.out:
+        Path(args.out).write_text(rendered, encoding="utf-8")
+        print(f"{args.format} report written to {args.out}")
+        print(report.summary())
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report.ok else 1
+
+
 def _cmd_fuzz(args) -> int:
     from repro.check import run_fuzz
 
@@ -699,6 +745,40 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="print one line per point"
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST invariant linter (cache keys, determinism, trace, solver)",
+    )
+    p_lint.add_argument(
+        "root", nargs="?", default="src",
+        help="directory to scan (default: src)",
+    )
+    p_lint.add_argument(
+        "--rules", nargs="*", default=None, metavar="RULE",
+        help="run only these rule ids (default: all registered)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE", default="lint-baseline.json",
+        help="committed baseline file (default: lint-baseline.json)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report all findings)",
+    )
+    p_lint.add_argument(
+        "--fix-baseline", action="store_true",
+        help="regenerate the baseline from current findings and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_faults = sub.add_parser(
         "faults",

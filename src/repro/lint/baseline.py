@@ -1,0 +1,110 @@
+"""The committed lint baseline (``lint-baseline.json``).
+
+A baseline is the audited debt ledger: findings that predate a rule (or
+are accepted for now) live in a committed JSON file instead of blocking
+CI.  Entries are :meth:`~repro.lint.findings.LintFinding.fingerprint`
+components — rule, root-relative POSIX path, symbol, detail — with *no*
+line numbers, so edits elsewhere in a file do not churn the file.
+Matching is a multiset: two identical violations need two entries, and
+fixing one of them surfaces the other.
+
+The file is regenerated with ``repro-sr lint --fix-baseline`` and is
+byte-deterministic: entries sorted by fingerprint, two-space indent,
+trailing newline — the same output from any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import LintFinding, sort_findings
+
+BASELINE_VERSION = "repro.lint-baseline/1"
+
+
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: Iterable[dict[str, str]] = ()) -> None:
+        self.entries = list(entries)
+        self._counts = Counter(
+            self._fingerprint(entry) for entry in self.entries
+        )
+
+    @staticmethod
+    def _fingerprint(entry: dict[str, str]) -> str:
+        return "|".join(
+            (
+                entry.get("rule", ""),
+                entry.get("path", ""),
+                entry.get("symbol", ""),
+                entry.get("detail", ""),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def partition(
+        self, findings: Iterable[LintFinding]
+    ) -> tuple[list[LintFinding], list[LintFinding], int]:
+        """Split findings into ``(live, absorbed)`` + stale entry count.
+
+        Each baseline entry absorbs at most one finding (multiset
+        semantics); entries matching nothing are *stale* — the debt was
+        paid and the ledger should be regenerated.
+        """
+        budget = Counter(self._counts)
+        live: list[LintFinding] = []
+        absorbed: list[LintFinding] = []
+        for finding in sort_findings(findings):
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                absorbed.append(finding)
+            else:
+                live.append(finding)
+        stale = sum(budget.values())
+        return live, absorbed, stale
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[LintFinding]) -> "Baseline":
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "detail": f.detail,
+            }
+            for f in sort_findings(findings)
+        ]
+        entries.sort(key=cls._fingerprint)
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION!r}); regenerate with "
+                "repro-sr lint --fix-baseline"
+            )
+        return cls(payload.get("entries", []))
+
+    def save(self, path: Path | str) -> None:
+        """Write deterministically (sorted entries, stable layout)."""
+        entries = sorted(self.entries, key=self._fingerprint)
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

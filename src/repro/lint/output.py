@@ -1,0 +1,107 @@
+"""Render a :class:`~repro.lint.findings.LintReport` as text/JSON/SARIF.
+
+SARIF output targets the 2.1.0 schema — the minimal honest subset
+(tool descriptor with rule metadata, one result per live finding with a
+physical location) that code-scanning UIs ingest.  All three formats
+are byte-deterministic for a given report.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import SEVERITY_ERROR, LintFinding, LintReport
+from repro.lint.registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable listing: one line per finding, then the summary."""
+    lines = [str(finding) for finding in report.findings]
+    if report.stale_baseline:
+        lines.append(
+            f"note: {report.stale_baseline} baseline entr(ies) no longer "
+            "match any finding; run `repro-sr lint --fix-baseline`"
+        )
+    lines.append(report.summary())
+    lines.append("OK" if report.ok else "FAIL")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(finding: LintFinding) -> dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity == SEVERITY_ERROR else "warning",
+        "message": {"text": finding.detail},
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint()},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log with rule metadata and one result per finding."""
+    rules_meta = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in all_rules()
+        if rule.id in report.rules_run
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/analysis"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [
+                    _sarif_result(finding) for finding in report.findings
+                ],
+                "properties": {
+                    "filesScanned": report.files_scanned,
+                    "suppressed": report.suppressed,
+                    "baselined": len(report.baselined),
+                    "staleBaseline": report.stale_baseline,
+                },
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,90 @@
+"""The lint rule contract and registry.
+
+A rule is a class with a stable ``id``, registered at import time via
+:func:`register_rule`; the engine instantiates every registered rule
+(or the subset ``--rules`` names) per pass.  Rules see the whole
+:class:`~repro.lint.context.ProjectContext` — most iterate its modules,
+but cross-module rules (cache-key completeness) address specific peers
+by dotted name.
+
+Adding a rule
+-------------
+1. Subclass :class:`LintRule` in a module under ``repro/lint/rules/``,
+   set ``id``/``name``/``description``, implement either
+   :meth:`LintRule.check_module` (per-file rules) or override
+   :meth:`LintRule.check_project` (cross-module rules).
+2. Decorate it with ``@register_rule``.
+3. Import the module from ``repro/lint/rules/__init__.py``.
+4. Add a seeded mutation corpus for it in
+   :mod:`repro.lint.selfcheck` — the ≥95% kill gate in
+   ``tests/unit/test_lint_selfcheck.py`` will refuse a rule that cannot
+   catch its own seeded violations.
+
+See ``docs/analysis.md`` for the full walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import ModuleUnit, ProjectContext
+from repro.lint.findings import LintFinding
+
+
+class LintRule:
+    """Base class of every invariant rule."""
+
+    #: Stable machine-readable identifier (baseline + pragma key).
+    id: str = ""
+    #: Short human-readable name (SARIF rule title).
+    name: str = ""
+    #: One-line description of the invariant the rule certifies.
+    description: str = ""
+
+    def check_project(self, project: ProjectContext) -> Iterator[LintFinding]:
+        """Findings over the whole project (default: per-module)."""
+        for unit in project:
+            yield from self.check_module(unit, project)
+
+    def check_module(
+        self, unit: ModuleUnit, project: ProjectContext
+    ) -> Iterator[LintFinding]:
+        """Findings in one module (cross-module rules may ignore this)."""
+        return iter(())
+
+
+#: Registered rule classes by id, in registration order.
+RULE_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[LintRule]:
+    """One instance of every registered rule, in registration order."""
+    import repro.lint.rules  # noqa: F401  - registration side effect
+
+    return [cls() for cls in RULE_REGISTRY.values()]
+
+
+def rules_named(ids: list[str] | None) -> list[LintRule]:
+    """Instances of the named rules (all when ``ids`` is ``None``)."""
+    rules = all_rules()
+    if ids is None:
+        return rules
+    known = {rule.id for rule in rules}
+    unknown = [rule_id for rule_id in ids if rule_id not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"expected a subset of {', '.join(sorted(known))}"
+        )
+    wanted = set(ids)
+    return [rule for rule in rules if rule.id in wanted]

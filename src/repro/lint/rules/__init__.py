@@ -1,0 +1,8 @@
+"""Domain rule modules (imported for their registration side effect)."""
+
+from repro.lint.rules import (  # noqa: F401
+    cache_key,
+    determinism,
+    solver_contract,
+    trace_taxonomy,
+)

@@ -1,0 +1,151 @@
+"""Rule ``trace-taxonomy`` — emitted trace categories must exist.
+
+Every :meth:`Tracer.instant`/:meth:`Tracer.span` call names a category
+from the taxonomy documented in :mod:`repro.trace.tracer` and declared
+in its :data:`TRACE_CATEGORIES` frozenset.  A typo'd category
+(``"compiler"`` for ``"compile"``) fails *silently*: the recorder's
+``categories=`` pre-filter simply never matches, the Chrome exporter
+renders an orphan row, and downstream analysis that selects by category
+misses the events.  This rule makes the typo a lint error instead.
+
+Checked shapes (anywhere under the scanned tree):
+
+- ``<anything>.instant("<cat>", ...)`` / ``<anything>.span("<cat>", ...)``
+  — any receiver, so ``self.tracer.instant`` and bare ``tracer.span``
+  both count; only literal string first arguments are judged (a
+  variable category is assumed to have been validated upstream).
+- ``TraceEvent(category=...)`` constructions with a literal category
+  (positional or keyword).
+- ``TraceRecorder(categories=[...])`` filters whose literal elements
+  name nonexistent categories — a filter that can never match is a
+  latent bug, not a preference.
+
+The taxonomy itself is read *from the scanned tree* (the
+``TRACE_CATEGORIES`` literal in ``repro.trace.tracer``), never from the
+running interpreter, so the rule lints exactly the code in front of it.
+When the tracer module is not part of the scan the rule is silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import iter_calls, literal_strings, module_string_tuple
+from repro.lint.context import ModuleUnit, ProjectContext
+from repro.lint.findings import LintFinding
+from repro.lint.registry import LintRule, register_rule
+
+TRACER_MODULE = "repro.trace.tracer"
+
+
+@register_rule
+class TraceTaxonomyRule(LintRule):
+    id = "trace-taxonomy"
+    name = "trace taxonomy conformance"
+    description = (
+        "Literal trace categories in emit calls, TraceEvent constructions "
+        "and recorder filters must be declared in TRACE_CATEGORIES"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[LintFinding]:
+        tracer = project.module(TRACER_MODULE)
+        if tracer is None:
+            return
+        entry = module_string_tuple(tracer.tree, "TRACE_CATEGORIES")
+        if entry is None:
+            yield LintFinding(
+                rule=self.id,
+                path=tracer.relpath,
+                line=1,
+                col=0,
+                symbol="TRACE_CATEGORIES",
+                detail=(
+                    "TRACE_CATEGORIES is missing from repro.trace.tracer "
+                    "or is not a literal string collection; the taxonomy "
+                    "must be statically readable"
+                ),
+            )
+            return
+        categories = frozenset(entry[0])
+        for unit in project:
+            yield from self._check_unit(unit, categories)
+
+    def _check_unit(
+        self, unit: ModuleUnit, categories: frozenset[str]
+    ) -> Iterator[LintFinding]:
+        for call in iter_calls(unit.tree):
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "instant",
+                "span",
+            ):
+                yield from self._check_literal_category(
+                    unit, call, categories, arg_index=0, context=func.attr
+                )
+            elif isinstance(func, ast.Name) and func.id == "TraceEvent":
+                yield from self._check_literal_category(
+                    unit, call, categories, arg_index=0, context="TraceEvent"
+                )
+            elif isinstance(func, ast.Name) and func.id == "TraceRecorder":
+                yield from self._check_filter(unit, call, categories)
+
+    def _check_literal_category(
+        self,
+        unit: ModuleUnit,
+        call: ast.Call,
+        categories: frozenset[str],
+        arg_index: int,
+        context: str,
+    ) -> Iterator[LintFinding]:
+        category: ast.expr | None = None
+        if len(call.args) > arg_index:
+            category = call.args[arg_index]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "category":
+                    category = kw.value
+                    break
+        if not (
+            isinstance(category, ast.Constant)
+            and isinstance(category.value, str)
+        ):
+            return
+        if category.value not in categories:
+            yield LintFinding(
+                rule=self.id,
+                path=unit.relpath,
+                line=category.lineno,
+                col=category.col_offset,
+                symbol=category.value,
+                detail=(
+                    f"{context}() emits unknown trace category "
+                    f"{category.value!r}; declare it in TRACE_CATEGORIES "
+                    "and the taxonomy docstring of repro.trace.tracer, "
+                    "or fix the typo"
+                ),
+            )
+
+    def _check_filter(
+        self, unit: ModuleUnit, call: ast.Call, categories: frozenset[str]
+    ) -> Iterator[LintFinding]:
+        for kw in call.keywords:
+            if kw.arg != "categories":
+                continue
+            strings = literal_strings(kw.value)
+            if strings is None:
+                continue
+            for value in strings:
+                if value not in categories:
+                    yield LintFinding(
+                        rule=self.id,
+                        path=unit.relpath,
+                        line=kw.value.lineno,
+                        col=kw.value.col_offset,
+                        symbol=value,
+                        detail=(
+                            f"TraceRecorder filter names unknown category "
+                            f"{value!r}; this filter can never match an "
+                            "emitted event"
+                        ),
+                    )

@@ -38,6 +38,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.models import FaultTrace
 
 
+#: :class:`RunConfig` fields that change the *measured behaviour* of a
+#: run (what the paper's figures would show).  Together with
+#: :data:`RUN_OBSERVER_FIELDS` this is a complete partition of the
+#: dataclass; the ``cache-key`` lint rule cross-checks it statically so
+#: a new run knob cannot ship without declaring which side it is on —
+#: replay comparisons trust exactly the result-affecting fields.
+RUN_RESULT_FIELDS = (
+    "invocations",
+    "warmup",
+    "seed",
+    "fault_trace",
+    "max_recoveries",
+    "allocator",
+)
+
+#: :class:`RunConfig` fields that observe a run without changing it.
+RUN_OBSERVER_FIELDS = ("tracer",)
+
+
 @dataclass(frozen=True, kw_only=True)
 class RunConfig:
     """Keyword-only bundle of run parameters, shared by every run path.

@@ -20,7 +20,7 @@ __all__ = ["ServeClient"]
 class ServeClient:
     """Talk to one farm instance at ``host:port``."""
 
-    def __init__(self, host: str, port: int, timeout: float = 120.0):
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -51,7 +51,7 @@ class ServeClient:
     ) -> tuple[int, dict[str, Any]]:
         """One request/response; returns ``(status, parsed body)``."""
         body = (
-            json.dumps(payload).encode("utf-8")
+            json.dumps(payload, sort_keys=True).encode("utf-8")
             if payload is not None
             else None
         )

@@ -52,7 +52,7 @@ _MAX_BODY = 1 << 20
 class _HttpError(Exception):
     """Terminates one request with a status + JSON error body."""
 
-    def __init__(self, status: int, detail: str):
+    def __init__(self, status: int, detail: str) -> None:
         super().__init__(detail)
         self.status = status
         self.detail = detail

@@ -82,7 +82,12 @@ class BadRequest(ReproError):
     """A malformed or unsupported job payload (HTTP 400)."""
 
 
-def _require(payload: Mapping[str, Any], key: str, kind: type, default=None):
+def _require(
+    payload: Mapping[str, Any],
+    key: str,
+    kind: type,
+    default: Any | None = None,
+) -> Any:
     value = payload.get(key, default)
     if value is None:
         raise BadRequest(f"missing required field {key!r}")
@@ -304,7 +309,7 @@ class JobStore:
     on in the schedule cache — the store is for polling, not archival).
     """
 
-    def __init__(self, history_limit: int = 512):
+    def __init__(self, history_limit: int = 512) -> None:
         self.history_limit = history_limit
         self._jobs: dict[str, Job] = {}
         self._ids = itertools.count(1)

@@ -422,7 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {args.out}")
     if args.histogram_out:
         with open(args.histogram_out, "w", encoding="utf-8") as handle:
-            json.dump(report["histogram"], handle, indent=2)
+            json.dump(report["histogram"], handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"histogram written to {args.histogram_out}")
 

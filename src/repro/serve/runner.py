@@ -89,7 +89,7 @@ class ServerThread:
     """
 
     def __init__(self, config: ServeConfig | None = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.service = CompileService(config or ServeConfig(), tracer=tracer)
         self.port: int = 0
         self._ready = threading.Event()

@@ -48,7 +48,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Lock
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnose import Diagnosis
 
 from repro.cache import (
     CacheStats,
@@ -363,7 +366,7 @@ class CompileService:
         job.transition(JOB_DONE, verdict=result.get("verdict"))
         self._trace("complete", job)
 
-    def _admit(self, request: JobRequest):
+    def _admit(self, request: JobRequest) -> "Diagnosis":
         """Admission fast path (thread-side): statically diagnose.
 
         Serialized by a lock — diagnoses are millisecond-cheap, and the

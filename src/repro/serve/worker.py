@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Mapping
 
-from repro.cache import ScheduleCache, schedule_cache_key
+from repro.cache import ScheduleCache
 from repro.core.compiler import compile_schedule
 from repro.core.pipeline import verdict_code
 from repro.errors import SchedulingError
@@ -94,7 +94,7 @@ class _Spool:
     profiler-callback contract).
     """
 
-    def __init__(self, path: str | None):
+    def __init__(self, path: str | None) -> None:
         self._handle: IO[str] | None = None
         if path is not None:
             try:

@@ -77,6 +77,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+#: The complete event taxonomy (one entry per section of the module
+#: docstring above).  Producers must emit categories from this set —
+#: the ``trace-taxonomy`` lint rule statically checks every literal
+#: category in emit calls, :class:`TraceEvent` constructions and
+#: :class:`TraceRecorder` filters against it, so a typo'd category
+#: cannot silently vanish from filtered recordings.
+TRACE_CATEGORIES = (
+    "sim",
+    "link",
+    "crossbar",
+    "slot",
+    "flight",
+    "task",
+    "run",
+    "fault",
+    "compile",
+    "check",
+    "diagnose",
+    "serve",
+)
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -166,7 +187,7 @@ class TraceRecorder(Tracer):
 
     enabled = True
 
-    def __init__(self, categories: Iterable[str] | None = None):
+    def __init__(self, categories: Iterable[str] | None = None) -> None:
         self._events: list[TraceEvent] = []
         self.categories = frozenset(categories) if categories is not None else None
 

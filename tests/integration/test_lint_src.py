@@ -1,0 +1,151 @@
+"""The invariant linter over the real source tree, end to end.
+
+The whole point of ``repro.lint`` is that the shipped ``src/`` passes
+it: zero unsuppressed findings with the committed baseline, and the
+baseline itself is empty debt unless a PR deliberately adds entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+class TestSourceTreeIsClean:
+    def test_zero_findings_without_baseline(self):
+        report = lint_paths(SRC)
+        assert report.findings == (), "\n".join(
+            str(f) for f in report.findings
+        )
+        assert report.ok
+
+    def test_scans_the_whole_package(self):
+        report = lint_paths(SRC)
+        assert report.files_scanned > 100
+        assert set(report.rules_run) == {
+            "cache-key",
+            "determinism",
+            "solver-contract",
+            "trace-taxonomy",
+        }
+
+    def test_committed_baseline_loads_and_is_empty(self):
+        baseline = Baseline.load(BASELINE)
+        assert len(baseline) == 0
+
+    def test_no_stale_baseline_entries(self):
+        report = lint_paths(SRC, baseline_path=BASELINE)
+        assert report.stale_baseline == 0
+
+
+class TestCli:
+    def test_lint_exits_zero_on_clean_tree(self, capsys):
+        code = main(
+            ["lint", str(SRC), "--baseline", str(BASELINE)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_lint_exits_nonzero_on_violation(self, tmp_path, capsys):
+        mod = tmp_path / "repro" / "cache"
+        mod.mkdir(parents=True)
+        (mod / "bad.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        code = main(
+            ["lint", str(tmp_path), "--baseline", str(tmp_path / "b.json")]
+        )
+        assert code == 1
+        assert "det-wall-clock" in capsys.readouterr().out
+
+    def test_sarif_output_to_file(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint",
+                str(SRC),
+                "--format",
+                "sarif",
+                "--out",
+                str(out),
+                "--baseline",
+                str(BASELINE),
+            ]
+        )
+        assert code == 0
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+
+    def test_rules_subset(self, capsys):
+        code = main(
+            [
+                "lint",
+                str(SRC),
+                "--rules",
+                "determinism",
+                "--no-baseline",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules_run"] == ["determinism"]
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code = main(["lint", str(SRC), "--rules", "bogus"])
+        assert code == 2
+
+    def test_missing_root_is_usage_error(self, capsys):
+        code = main(["lint", "definitely/not/here"])
+        assert code == 2
+
+    def test_fix_baseline_round_trip(self, tmp_path, capsys):
+        mod = tmp_path / "repro" / "cache"
+        mod.mkdir(parents=True)
+        (mod / "bad.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--fix-baseline",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        first = baseline.read_bytes()
+        # With the baseline in place the same tree lints clean.
+        assert (
+            main(["lint", str(tmp_path), "--baseline", str(baseline)]) == 0
+        )
+        # Regeneration is byte-deterministic.
+        assert (
+            main(
+                [
+                    "lint",
+                    str(tmp_path),
+                    "--fix-baseline",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert baseline.read_bytes() == first
+        entries = json.loads(first)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "determinism"

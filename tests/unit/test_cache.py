@@ -301,3 +301,50 @@ class TestKeyScheme:
             small_setup.timing, residual, small_setup.allocation,
             small_setup.tau_in_for_load(0.5), CONFIG,
         ) != self.base_key(small_setup)
+
+
+class TestEntryByteIdentity:
+    """Cache entries are pure functions of the compilation inputs.
+
+    Wall-clock solver timings used to leak into stored entries
+    (``solver_stats.lp_wall_ms``), so two byte-identical compilations
+    produced different cache bytes — breaking the byte-identity
+    invariant the fuzz differential enforces everywhere else.
+    """
+
+    def test_identical_compilations_serialize_identically(self, small_setup):
+        from repro.cache.store import routing_to_entry
+
+        first = compile_small(small_setup)
+        second = compile_small(small_setup)
+        stats_a = first.extra.get("solver_stats")
+        stats_b = second.extra.get("solver_stats")
+        if stats_a is not None and stats_b is not None:
+            # The live measurement genuinely varies run to run ...
+            assert "lp_wall_ms" in stats_a and "lp_wall_ms" in stats_b
+        # ... but the stored entries must not.
+        blob_a = json.dumps(routing_to_entry(first), sort_keys=True)
+        blob_b = json.dumps(routing_to_entry(second), sort_keys=True)
+        assert blob_a == blob_b
+
+    def test_stored_entry_has_no_wall_clock(self, small_setup):
+        from repro.cache.store import (
+            VOLATILE_SOLVER_STATS,
+            routing_to_entry,
+        )
+
+        entry = routing_to_entry(compile_small(small_setup))
+        stats = entry.get("solver_stats")
+        if stats is not None:
+            for key in VOLATILE_SOLVER_STATS:
+                assert key not in stats
+            # Deterministic counters survive the strip.
+            assert "lp_solves" in stats
+
+    def test_cache_hit_replays_without_stale_timing(self, small_setup):
+        cache = ScheduleCache()
+        compile_small(small_setup, cache=cache)
+        warm = compile_small(small_setup, cache=cache)
+        stats = warm.extra.get("solver_stats")
+        if stats is not None:
+            assert "lp_wall_ms" not in stats

@@ -1,0 +1,67 @@
+"""The mutation-kill gate: every rule must catch its seeded corpus.
+
+This is the ``repro.check.mutate`` discipline applied to the linter
+itself — a rule whose matching silently rots would keep CI green while
+the invariant it guards decays.  The gate requires a >=95% kill rate
+per rule (at two different seeds, so the corpus is not template-bound)
+and zero findings on each rule's clean template.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.registry import rules_named
+from repro.lint.selfcheck import (
+    clean_finding_count,
+    corpus_rule_ids,
+    kill_check,
+    mutants,
+)
+
+KILL_GATE = 0.95
+RULE_IDS = corpus_rule_ids()
+
+
+def test_every_registered_rule_has_a_corpus():
+    registered = {rule.id for rule in rules_named(None)}
+    assert set(RULE_IDS) == registered
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_template_lints_clean(rule_id):
+    assert clean_finding_count(rule_id) == 0
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_kill_rate_meets_gate(rule_id, seed):
+    result = kill_check(rule_id, seed=seed)
+    assert result.total >= 10, "corpus too small to be meaningful"
+    assert result.rate >= KILL_GATE, (
+        f"{rule_id}: killed {result.killed}/{result.total} "
+        f"({result.rate:.0%}); survivors: {list(result.survivors)}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_corpus_is_deterministic_per_seed(rule_id):
+    first = mutants(rule_id, seed=3)
+    second = mutants(rule_id, seed=3)
+    assert [(m.name, m.sources) for m in first] == [
+        (m.name, m.sources) for m in second
+    ]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_mutants_differ_from_clean(rule_id):
+    from repro.lint.selfcheck import clean_sources
+
+    clean = clean_sources(rule_id)
+    for mutant in mutants(rule_id, seed=0):
+        assert mutant.sources != clean, mutant.name
+
+
+def test_unknown_rule_corpus_rejected():
+    with pytest.raises(ValueError, match="no self-check corpus"):
+        mutants("no-such-rule")
